@@ -1,0 +1,49 @@
+"""Extension — semi-automatic anomaly detection (paper's future work).
+
+The paper's conclusion announces "semi-automatic statistical methods to
+quickly focus the search for interesting anomalies"; this bench runs
+the implemented detectors over the seidel traces and validates that
+they find exactly the anomalies the paper's manual analyses found.
+"""
+
+import numpy as np
+
+from figutils import write_result
+from repro.core import TaskTypeFilter, correlate_counters, scan
+
+
+def test_anomaly_scan(benchmark, seidel_nonopt):
+    __, trace = seidel_nonopt
+    findings = benchmark(scan, trace, 100)
+
+    kinds = {finding.kind for finding in findings}
+    # The non-optimized seidel run exhibits all three anomaly families
+    # the paper debugs by hand.
+    assert "idle-phase" in kinds
+    assert "duration-outlier" in kinds
+    assert "poor-locality" in kinds
+    init = [finding for finding in findings
+            if finding.kind == "duration-outlier"]
+    assert any(finding.task_type == "seidel_init" for finding in init)
+
+    write_result("ext_anomaly_scan", [
+        "Extension: semi-automatic anomaly scan (non-optimized seidel)",
+        "paper (conclusion): 'semi-automatic statistical methods to "
+        "quickly focus the search for interesting anomalies'",
+        "findings: {} total, kinds: {}".format(
+            len(findings), ", ".join(sorted(kinds))),
+    ] + ["  {!r}".format(finding) for finding in findings[:8]])
+
+
+def test_counter_correlation_ranking(benchmark, kmeans_baseline):
+    __, trace = kmeans_baseline
+    ranking = benchmark(correlate_counters, trace,
+                        TaskTypeFilter("kmeans_distance"))
+    assert ranking
+    assert ranking[0].counter == "branch_mispredictions"
+    write_result("ext_counter_ranking", [
+        "Extension: automated counter-correlation ranking (k-means)",
+        "expected: branch_mispredictions ranked first (Section V found "
+        "it manually)",
+    ] + ["  {:28s} R^2 = {:.3f}".format(entry.counter, entry.r_squared)
+         for entry in ranking])

@@ -1,0 +1,47 @@
+"""Extension — schedule-quality analyses over the paper's workloads.
+
+Quantifies what Section III-A argues qualitatively: the dependence
+structure bounds achievable parallelism.  The duration-weighted
+critical path of seidel's wave front gives the minimum possible
+makespan; the bench reports how close the simulated work-stealing
+schedule came, plus the per-type time profile behind Fig. 9.
+"""
+
+import numpy as np
+
+from figutils import write_result
+from repro.core import (critical_path_report, describe_profile,
+                        reconstruct_task_graph, scheduling_delays,
+                        task_type_profile)
+
+
+def test_critical_path_analysis(benchmark, seidel_opt):
+    __, trace = seidel_opt
+    graph = reconstruct_task_graph(trace)
+    report = benchmark(critical_path_report, trace, graph)
+
+    assert report.length_cycles <= report.makespan
+    assert report.max_speedup > 1.0
+    assert 0 < report.schedule_efficiency <= 1.0
+
+    delays = scheduling_delays(trace, graph)
+    values = np.asarray(list(delays.values()), dtype=float)
+    write_result("ext_schedule", [
+        "Extension: schedule-quality analysis (optimized seidel)",
+        report.describe(),
+        "scheduling delays: median {:.0f}, p95 {:.0f}, max {:.0f} "
+        "cycles".format(np.median(values), np.percentile(values, 95),
+                        values.max()),
+        "",
+        describe_profile(task_type_profile(trace)),
+    ])
+
+
+def test_type_profile(benchmark, seidel_opt):
+    __, trace = seidel_opt
+    entries = benchmark(task_type_profile, trace)
+    shares = {entry.type_name: entry.share_of_execution
+              for entry in entries}
+    # Compute tasks dominate; init is a visible minority (Fig. 9).
+    assert shares["seidel_block"] > 0.5
+    assert 0.01 < shares["seidel_init"] < 0.5

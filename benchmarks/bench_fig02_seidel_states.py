@@ -1,0 +1,50 @@
+"""Fig. 2 — seidel timeline in state mode.
+
+Paper: task execution (dark blue) dominates, with two distinct light
+blue vertical bands of idling workers: one in the first quarter of the
+execution and one at the end.
+"""
+
+import numpy as np
+
+from figutils import write_result
+from repro.core import WorkerState, state_count_series
+from repro.render import StateMode, TimelineView, render_timeline, \
+    state_color
+
+
+def test_fig02_state_timeline(benchmark, seidel_opt):
+    __, trace = seidel_opt
+    view = TimelineView.fit(trace, 800, 4 * trace.num_cores)
+    framebuffer = benchmark(render_timeline, trace, StateMode(), view)
+
+    colors = framebuffer.unique_colors()
+    assert state_color(WorkerState.RUNNING) in colors
+    assert state_color(WorkerState.IDLE) in colors
+
+    # Verify the two idle bands: idle density in the first quarter and
+    # the final tenth clearly exceeds the middle of the execution.
+    edges, idle = state_count_series(trace, WorkerState.IDLE, 40)
+    first_quarter = idle[:10].max()
+    middle = idle[15:30].mean()
+    tail = idle[-4:].max()
+    assert first_quarter > middle * 2
+    assert tail > middle * 2
+
+    running = np.count_nonzero(
+        (framebuffer.pixels
+         == state_color(WorkerState.RUNNING)).all(axis=2))
+    idle_pixels = np.count_nonzero(
+        (framebuffer.pixels == state_color(WorkerState.IDLE)).all(axis=2))
+    write_result("fig02_seidel_states", [
+        "Fig. 2: seidel state timeline ({} cores)".format(trace.num_cores),
+        "paper: dark blue (task execution) dominates; two light-blue "
+        "idle bands (first quarter, end)",
+        "measured: running pixels = {}, idle pixels = {} "
+        "(ratio {:.2f})".format(running, idle_pixels,
+                                running / max(idle_pixels, 1)),
+        "idle-band check: first-quarter peak {:.1f}, middle mean {:.1f}, "
+        "tail peak {:.1f} workers".format(first_quarter, middle, tail),
+        "render: {} rectangle fills for {} state intervals".format(
+            framebuffer.rect_calls, len(trace.states)),
+    ])

@@ -1,0 +1,35 @@
+"""Fig. 3 — number of idle workers over normalized execution time.
+
+Paper: the derived counter (per-interval time in the idle state, summed
+over workers) peaks above half the number of cores, confirming the two
+idle phases seen on the timeline.
+"""
+
+import numpy as np
+
+from figutils import series, write_result
+from repro.core import WorkerState, state_count_series
+
+
+def test_fig03_idle_worker_series(benchmark, seidel_opt):
+    __, trace = seidel_opt
+    edges, idle = benchmark(state_count_series, trace, WorkerState.IDLE,
+                            200)
+
+    assert len(idle) == 200
+    assert (idle >= 0).all()
+    assert (idle <= trace.num_cores).all()
+    # The paper's claim: peaks exceed half the number of cores.
+    assert idle.max() > trace.num_cores / 2
+
+    coarse = idle.reshape(20, 10).mean(axis=1)
+    write_result("fig03_idle_workers", [
+        "Fig. 3: number of idle workers (200 intervals, {} cores)"
+        .format(trace.num_cores),
+        "paper: peaks exceed half the cores (>96 of 192), at ~15% and "
+        "~100% of execution",
+        "measured peak: {:.1f} of {} cores at {:.0%} of execution"
+        .format(idle.max(), trace.num_cores,
+                int(idle.argmax()) / len(idle)),
+        "series (20 buckets): " + series(coarse, "{:.1f}"),
+    ])

@@ -1,0 +1,50 @@
+"""Fig. 7 — seidel timeline in heatmap mode (ten shades of red).
+
+Paper: four phases — dark red long-running tasks at the beginning
+(initialization), a gap where the background shows through (the
+low-parallelism phase), a long majority-white phase of short tasks, and
+background again at the end.
+"""
+
+import numpy as np
+
+from figutils import write_result
+from repro.core import TaskTypeFilter, task_duration_stats
+from repro.render import HeatmapMode, TimelineView, render_timeline
+
+
+def test_fig07_heatmap(benchmark, seidel_opt):
+    __, trace = seidel_opt
+    view = TimelineView.fit(trace, 800, 4 * trace.num_cores)
+    mode = HeatmapMode(shades=10)
+    framebuffer = benchmark(render_timeline, trace, mode, view)
+
+    # The first phase must be darker (higher shade) than the plateau:
+    # compare the average red-shade darkness of the first tenth of the
+    # image with the middle.
+    pixels = framebuffer.pixels.astype(np.int64)
+    # Heatmap shades have green == blue < red; select those pixels.
+    is_shade = ((pixels[:, :, 1] == pixels[:, :, 2])
+                & (pixels[:, :, 0] > pixels[:, :, 1]))
+    darkness = np.where(is_shade, 255 - pixels[:, :, 1], 0).astype(float)
+    width = framebuffer.width
+    early = darkness[:, :width // 10][is_shade[:, :width // 10]].mean()
+    middle = darkness[:, width // 3:2 * width // 3][
+        is_shade[:, width // 3:2 * width // 3]].mean()
+    assert early > middle * 1.5
+
+    init_mean, __s = task_duration_stats(trace,
+                                         TaskTypeFilter("seidel_init"))
+    block_mean, __s2 = task_duration_stats(trace,
+                                           TaskTypeFilter("seidel_block"))
+    write_result("fig07_heatmap", [
+        "Fig. 7: seidel heatmap (10 shades)",
+        "paper: dark red initialization phase, then a majority of "
+        "short (white) tasks; background visible in low-parallelism "
+        "phases",
+        "measured: init mean duration {:.0f} cycles vs compute mean "
+        "{:.0f} ({:.1f}x)".format(init_mean, block_mean,
+                                  init_mean / block_mean),
+        "pixel darkness: first tenth {:.1f} vs middle {:.1f}".format(
+            early, middle),
+    ])

@@ -1,0 +1,47 @@
+"""Fig. 10 — discrete derivative of aggregated system time and resident
+size (getrusage statistics).
+
+Paper: both the memory footprint and the time spent in the operating
+system increase almost exclusively during initialization, confirming
+that first-touch physical page allocation makes the init tasks slow.
+"""
+
+import numpy as np
+
+from figutils import series, write_result
+from repro.core import aggregate_counter_series, discrete_derivative
+
+
+def rusage_derivatives(trace, intervals=100):
+    edges, system_time = aggregate_counter_series(
+        trace, "os_system_time_us", intervals)
+    __, resident = aggregate_counter_series(trace, "os_resident_kb",
+                                            intervals)
+    return (edges, discrete_derivative(edges, system_time),
+            discrete_derivative(edges, resident))
+
+
+def test_fig10_rusage_derivatives(benchmark, seidel_opt):
+    __, trace = seidel_opt
+    edges, d_system, d_resident = benchmark(rusage_derivatives, trace)
+
+    for derivative in (d_system, d_resident):
+        total = derivative.sum()
+        assert total > 0
+        first_quarter = derivative[:25].sum()
+        # The paper: growth happens almost exclusively during init.
+        assert first_quarter / total > 0.9
+
+    write_result("fig10_getrusage", [
+        "Fig. 10: increase of system time / resident size",
+        "paper: memory footprint and OS time increase almost "
+        "exclusively during initialization",
+        "measured: {:.1%} of system-time growth and {:.1%} of resident-"
+        "size growth in the first quarter".format(
+            d_system[:25].sum() / d_system.sum(),
+            d_resident[:25].sum() / d_resident.sum()),
+        "sys-time derivative (10 buckets): "
+        + series(d_system.reshape(10, 10).mean(axis=1), "{:.2e}"),
+        "resident derivative (10 buckets): "
+        + series(d_resident.reshape(10, 10).mean(axis=1), "{:.2e}"),
+    ])

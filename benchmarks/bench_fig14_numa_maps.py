@@ -1,0 +1,74 @@
+"""Fig. 14 — locality of memory accesses: NUMA read/write maps and the
+NUMA heatmap, non-optimized vs optimized run-time.
+
+Paper: the non-optimized execution shows no color pattern (tasks read
+from all remote nodes); the optimized one shows per-node color bands
+(adjacent cores read from a single node).  The NUMA heatmap shades the
+same traces blue (local) vs pink (remote).  Execution times: 7.91
+Gcycles non-optimized vs 2.59 Gcycles optimized (3x speedup).
+"""
+
+import numpy as np
+
+from figutils import write_result
+from repro.core import average_remote_fraction, task_predominant_nodes
+from repro.render import (NumaHeatmapMode, NumaMode, TimelineView,
+                          render_timeline)
+
+
+def band_purity(trace, kind):
+    """How uniform the per-node color bands are: the mean share of each
+    core's tasks whose predominant source is that core's own majority
+    node.  ~1.0 = the paper's clean bands, ~1/nodes = speckle."""
+    nodes = task_predominant_nodes(trace, kind)
+    purity = []
+    for core in range(trace.num_cores):
+        lane = nodes[trace.tasks.core_slice(core)]
+        lane = lane[lane >= 0]
+        if len(lane) == 0:
+            continue
+        values, counts = np.unique(lane, return_counts=True)
+        purity.append(counts.max() / counts.sum())
+    return float(np.mean(purity))
+
+
+def test_fig14_numa_maps(benchmark, seidel_opt, seidel_nonopt):
+    opt_result, opt_trace = seidel_opt
+    non_result, non_trace = seidel_nonopt
+
+    view = TimelineView.fit(opt_trace, 640, 4 * opt_trace.num_cores)
+    framebuffer = benchmark(render_timeline, opt_trace, NumaMode("read"),
+                            view)
+    assert framebuffer.rect_calls > 0
+    for trace in (opt_trace, non_trace):
+        for mode in (NumaMode("write"), NumaHeatmapMode()):
+            fb = render_timeline(trace, mode,
+                                 TimelineView.fit(trace, 320, 128))
+            assert fb.pixels_drawn > 0
+
+    # Banding: optimized lanes are near-uniform, non-optimized speckled.
+    opt_purity = band_purity(opt_trace, "read")
+    non_purity = band_purity(non_trace, "read")
+    assert opt_purity > 0.8
+    assert non_purity < opt_purity - 0.2
+
+    # Remote-access fraction drives the NUMA heatmap's blue vs pink.
+    opt_remote = average_remote_fraction(opt_trace)
+    non_remote = average_remote_fraction(non_trace)
+    assert opt_remote < 0.25
+    assert non_remote > 0.5
+
+    speedup = non_result.makespan / opt_result.makespan
+    assert speedup > 1.5
+
+    write_result("fig14_numa_maps", [
+        "Fig. 14: NUMA locality, non-optimized vs optimized run-time",
+        "paper: no color pattern vs per-node bands; heatmap pink vs "
+        "blue; 7.91 vs 2.59 Gcycles (3.05x)",
+        "measured read-map band purity: optimized {:.2f}, "
+        "non-optimized {:.2f}".format(opt_purity, non_purity),
+        "measured remote-access fraction: optimized {:.1%}, "
+        "non-optimized {:.1%}".format(opt_remote, non_remote),
+        "measured makespan: {} vs {} cycles ({:.2f}x speedup)".format(
+            non_result.makespan, opt_result.makespan, speedup),
+    ])

@@ -1,0 +1,60 @@
+"""Fig. 16 — distribution of the main computation tasks' duration in
+k-means.
+
+Paper: although the computation tasks have similar workloads, the
+duration histogram shows several distinct peaks (between 6.5 and 12.5
+Mcycles), and long/short tasks are not tied to particular cores.
+"""
+
+import numpy as np
+import pytest
+
+from figutils import series, write_result
+from repro.core import TaskTypeFilter, task_duration_histogram
+
+
+def count_peaks(fractions):
+    """Local maxima above 40 % of the global peak."""
+    peaks = 0
+    threshold = fractions.max() * 0.4
+    for index in range(len(fractions)):
+        left = fractions[index - 1] if index > 0 else 0
+        right = fractions[index + 1] if index + 1 < len(fractions) else 0
+        if fractions[index] >= threshold \
+                and fractions[index] >= left and fractions[index] > right:
+            peaks += 1
+    return peaks
+
+
+def test_fig16_duration_histogram(benchmark, kmeans_baseline):
+    __, trace = kmeans_baseline
+    compute = TaskTypeFilter("kmeans_distance")
+    edges, fractions = benchmark(task_duration_histogram, trace, 30,
+                                 compute)
+
+    assert fractions.sum() == pytest.approx(1.0)
+    # Multi-modal: at least two separated peaks.
+    assert count_peaks(fractions) >= 2
+
+    # No relationship between duration and topology: every core runs
+    # both long and short tasks (Fig. 17's observation).
+    columns = trace.tasks.columns
+    mask = compute.mask(trace)
+    durations = (columns["end"] - columns["start"])[mask]
+    cores = columns["core"][mask]
+    median = np.median(durations)
+    cores_with_both = sum(
+        1 for core in np.unique(cores)
+        if (durations[cores == core] > median).any()
+        and (durations[cores == core] <= median).any())
+    assert cores_with_both > 0.8 * len(np.unique(cores))
+
+    write_result("fig16_histogram", [
+        "Fig. 16: duration histogram of k-means computation tasks",
+        "paper: several distinct peaks between 6.5M and 12.5M cycles",
+        "measured: {} peaks between {:.1f}M and {:.1f}M cycles".format(
+            count_peaks(fractions), edges[0] / 1e6, edges[-1] / 1e6),
+        "fractions: " + series(fractions, "{:.3f}"),
+        "cores executing both long and short tasks: {}/{}".format(
+            cores_with_both, len(np.unique(cores))),
+    ])

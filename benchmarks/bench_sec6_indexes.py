@@ -1,0 +1,93 @@
+"""Section VI-B-c — index structures.
+
+Paper: per-core per-type arrays sorted by timestamp let any interval's
+events be found with a fast binary search; an n-ary min/max search tree
+per (counter, core) — default arity 100, <= 5 % memory overhead —
+avoids scanning every sample when rendering counters.
+"""
+
+import numpy as np
+import pytest
+
+from figutils import write_result
+from repro.core import MinMaxTree, interval_slice
+
+
+@pytest.fixture(scope="module")
+def big_intervals():
+    rng = np.random.default_rng(42)
+    gaps = rng.integers(0, 50, size=200_000)
+    durations = rng.integers(1, 100, size=200_000)
+    starts = np.cumsum(gaps + durations) - durations
+    ends = starts + durations
+    return starts.astype(np.int64), ends.astype(np.int64)
+
+
+def test_binary_search_slicing(benchmark, big_intervals):
+    starts, ends = big_intervals
+    span = int(ends[-1])
+
+    def query():
+        return interval_slice(starts, ends, span // 3, span // 3 + 5000)
+
+    selection = benchmark(query)
+    expected = [index for index in range(len(starts))
+                if starts[index] < span // 3 + 5000
+                and ends[index] > span // 3]
+    assert list(range(selection.start, selection.stop)) == expected
+
+
+def test_linear_scan_baseline(benchmark, big_intervals):
+    """The naive alternative: scan all events for the interval."""
+    starts, ends = big_intervals
+    span = int(ends[-1])
+    lo, hi = span // 3, span // 3 + 5000
+
+    def scan():
+        return np.flatnonzero((starts < hi) & (ends > lo))
+
+    benchmark(scan)
+
+
+@pytest.fixture(scope="module")
+def counter_values():
+    rng = np.random.default_rng(7)
+    return np.cumsum(rng.normal(size=500_000))
+
+
+def test_minmax_tree_query(benchmark, counter_values):
+    tree = MinMaxTree(counter_values)     # default arity 100
+    lo, hi = 123_456, 456_789
+
+    result = benchmark(tree.query, lo, hi)
+    expected = (float(counter_values[lo:hi].min()),
+                float(counter_values[lo:hi].max()))
+    assert result == pytest.approx(expected)
+    assert tree.overhead_fraction() <= 0.05
+    write_result("sec6_indexes", [
+        "Section VI-B-c: n-ary min/max tree, {} samples".format(
+            len(counter_values)),
+        "arity {} -> {} levels, overhead {:.2%} of the sample data "
+        "(paper: <= 5%)".format(tree.arity, tree.levels,
+                                tree.overhead_fraction()),
+    ])
+
+
+def test_minmax_numpy_scan_baseline(benchmark, counter_values):
+    lo, hi = 123_456, 456_789
+
+    def scan():
+        window = counter_values[lo:hi]
+        return float(window.min()), float(window.max())
+
+    benchmark(scan)
+
+
+@pytest.mark.parametrize("arity", [2, 10, 100, 1000])
+def test_tree_arity_ablation(benchmark, counter_values, arity):
+    """DESIGN.md ablation: arity trades query speed for memory — the
+    paper picked 100 to bound memory at 5 %."""
+    tree = MinMaxTree(counter_values[:100_000], arity=arity)
+    benchmark(tree.query, 5_000, 95_000)
+    assert tree.query(5_000, 95_000)[0] == pytest.approx(
+        float(counter_values[5_000:95_000].min()))

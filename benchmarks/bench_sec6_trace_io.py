@@ -1,0 +1,64 @@
+"""Section VI-A — trace format: binary size, compression and load speed.
+
+Paper: traces are binary to reduce size and parsing delay, and may be
+compressed with gzip/bzip2/xz; Aftermath opens compressed traces
+directly.  Records interleave freely as long as per-core timestamps
+are ordered.
+"""
+
+import os
+
+import pytest
+
+from figutils import write_result
+from repro.trace_format import read_trace, write_trace
+
+
+@pytest.fixture(scope="module")
+def trace_files(seidel_opt, tmp_path_factory):
+    __, trace = seidel_opt
+    root = tmp_path_factory.mktemp("traces")
+    paths = {}
+    for suffix in ("", ".gz", ".bz2", ".xz"):
+        path = root / ("seidel.ost" + suffix)
+        write_trace(trace, str(path))
+        paths[suffix or "raw"] = path
+    return trace, paths
+
+
+def test_trace_write(benchmark, seidel_opt, tmp_path):
+    __, trace = seidel_opt
+    target = tmp_path / "out.ost"
+    records = benchmark(write_trace, trace, str(target))
+    assert records > 0
+
+
+def test_trace_load_uncompressed(benchmark, trace_files):
+    trace, paths = trace_files
+    loaded = benchmark(read_trace, str(paths["raw"]))
+    assert len(loaded.tasks) == len(trace.tasks)
+
+
+def test_trace_load_gzip(benchmark, trace_files):
+    """Opening a compressed trace directly (Section VI-A)."""
+    trace, paths = trace_files
+    loaded = benchmark(read_trace, str(paths[".gz"]))
+    assert len(loaded.tasks) == len(trace.tasks)
+
+
+def test_compression_ratio_table(benchmark, trace_files):
+    trace, paths = trace_files
+    benchmark(os.path.getsize, str(paths["raw"]))
+    raw_size = os.path.getsize(paths["raw"])
+    lines = ["Section VI-A: trace file sizes "
+             "({} tasks, {} states, {} accesses)".format(
+                 len(trace.tasks), len(trace.states),
+                 len(trace.accesses["task_id"])),
+             "codec   bytes        ratio"]
+    for label, path in paths.items():
+        size = os.path.getsize(path)
+        lines.append("{:6s}  {:10d}   {:5.2f}x".format(label, size,
+                                                       raw_size / size))
+        if label != "raw":
+            assert size < raw_size
+    write_result("sec6_trace_io", lines)

@@ -1,0 +1,49 @@
+"""Shared fixtures for the per-figure benchmarks.
+
+Each bench regenerates one figure/table of the paper's evaluation:
+the traces behind them are simulated once per session here, at the
+scale selected by ``REPRO_SCALE`` (default ``default``; use ``small``
+for quick runs or ``paper`` for full-size — slow in pure Python).
+
+Every bench writes its reproduced data series (and the paper's values
+for comparison) to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import experiments
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return os.environ.get("REPRO_SCALE", "default")
+
+
+@pytest.fixture(scope="session")
+def seidel_opt(scale):
+    """Optimized seidel run: (SimResult, Trace)."""
+    return experiments.seidel_trace(optimized=True, scale=scale, seed=1)
+
+
+@pytest.fixture(scope="session")
+def seidel_nonopt(scale):
+    """Non-optimized seidel run: (SimResult, Trace)."""
+    return experiments.seidel_trace(optimized=False, scale=scale, seed=1)
+
+
+@pytest.fixture(scope="session")
+def kmeans_baseline(scale):
+    """k-means with the conditional-update inner loop (the anomaly)."""
+    return experiments.kmeans_trace(scale=scale, block_size=10_000,
+                                    seed=2)
+
+
+@pytest.fixture(scope="session")
+def kmeans_fixed(scale):
+    """k-means after the paper's branch optimization."""
+    return experiments.kmeans_trace(scale=scale, block_size=10_000,
+                                    optimize_branches=True, seed=2)

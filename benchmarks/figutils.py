@@ -1,0 +1,23 @@
+"""Helpers shared by the per-figure benchmarks."""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_result(name, lines):
+    """Write one figure's reproduced series to benchmarks/results/ and
+    echo it (visible with ``pytest -s``)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "{}.txt".format(name)
+    text = "\n".join(str(line) for line in lines) + "\n"
+    path.write_text(text)
+    print("\n[{}]\n{}".format(name, text))
+    return path
+
+
+def series(values, fmt="{:.2f}"):
+    """Compact one-line rendering of a numeric series."""
+    return " ".join(fmt.format(float(value)) for value in values)

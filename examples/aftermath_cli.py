@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""A command-line Aftermath: inspect, analyze and render trace files.
+
+The GUI of the paper is replaced by subcommands over the same analysis
+core.  Traces are the binary files written by
+:func:`repro.trace_format.write_trace` (optionally .gz/.bz2/.xz).
+
+    python examples/aftermath_cli.py info trace.ost.gz
+    python examples/aftermath_cli.py report trace.ost.gz --start 0 --end 1000000
+    python examples/aftermath_cli.py render trace.ost.gz out.ppm --mode heatmap
+    python examples/aftermath_cli.py parallelism trace.ost.gz
+    python examples/aftermath_cli.py matrix trace.ost.gz
+    python examples/aftermath_cli.py export trace.ost.gz tasks.csv --type seidel_block
+    python examples/aftermath_cli.py dot trace.ost.gz graph.dot --task 17 --hops 2
+    python examples/aftermath_cli.py anomalies trace.ost.gz
+    python examples/aftermath_cli.py profile trace.ost.gz
+    python examples/aftermath_cli.py critical-path trace.ost.gz
+    python examples/aftermath_cli.py task trace.ost.gz 17
+
+(Generate a trace first, e.g. with examples/quickstart.py.)
+"""
+
+import argparse
+import sys
+
+from repro.core import (TaskTypeFilter, communication_matrix,
+                        critical_path_report, describe_profile,
+                        export_dot, export_task_table, interval_report,
+                        reconstruct_task_graph, scan, symbols_from_trace,
+                        task_details, task_type_profile)
+from repro.render import (HeatmapMode, NumaHeatmapMode, NumaMode,
+                          StateMode, TimelineView, TypeMode,
+                          matrix_to_text, render_timeline)
+from repro.trace_format import read_trace
+
+MODES = {
+    "state": StateMode,
+    "heatmap": HeatmapMode,
+    "typemap": TypeMode,
+    "numa-read": lambda: NumaMode("read"),
+    "numa-write": lambda: NumaMode("write"),
+    "numa-heatmap": NumaHeatmapMode,
+}
+
+
+def cmd_info(args):
+    trace = read_trace(args.trace)
+    print(trace)
+    print("machine: {} ({} nodes x {} cores)".format(
+        trace.topology.name, trace.topology.num_nodes,
+        trace.topology.cores_per_node))
+    print("time range: [{}, {}] ({} cycles)".format(
+        trace.begin, trace.end, trace.duration))
+    table = symbols_from_trace(trace)
+    for info in trace.task_types:
+        symbol = table.resolve(info.address)
+        count = sum(1 for t in trace.tasks.columns["type_id"]
+                    if t == info.type_id)
+        print("  type {}: {} at 0x{:x} ({}:{}), {} executions".format(
+            info.type_id, symbol.name, info.address, info.source_file,
+            info.source_line, count))
+    for description in trace.counter_descriptions:
+        print("  counter {}: {}".format(description.counter_id,
+                                        description.name))
+
+
+def cmd_report(args):
+    trace = read_trace(args.trace)
+    print(interval_report(trace, args.start, args.end).describe())
+
+
+def cmd_render(args):
+    trace = read_trace(args.trace)
+    view = TimelineView.fit(trace, args.width,
+                            args.lane * trace.num_cores)
+    if args.start is not None or args.end is not None:
+        from dataclasses import replace
+        view = replace(view,
+                       start=args.start if args.start is not None
+                       else trace.begin,
+                       end=args.end if args.end is not None
+                       else trace.end)
+    framebuffer = render_timeline(trace, MODES[args.mode](), view)
+    framebuffer.save_ppm(args.output)
+    print("wrote {} ({}x{}, {} draw calls)".format(
+        args.output, framebuffer.width, framebuffer.height,
+        framebuffer.draw_calls))
+
+
+def cmd_parallelism(args):
+    trace = read_trace(args.trace)
+    graph = reconstruct_task_graph(trace)
+    depths, counts = graph.parallelism_profile()
+    peak = counts.max() if len(counts) else 0
+    print("depth  tasks")
+    for depth, count in zip(depths, counts):
+        bar = "#" * int(50 * count / peak) if peak else ""
+        print("{:5d} {:6d} {}".format(int(depth), int(count), bar))
+
+
+def cmd_matrix(args):
+    trace = read_trace(args.trace)
+    print(matrix_to_text(communication_matrix(trace, kind=args.kind)))
+
+
+def cmd_export(args):
+    trace = read_trace(args.trace)
+    task_filter = TaskTypeFilter(args.type) if args.type else None
+    counters = [d.name for d in trace.counter_descriptions]
+    rows = export_task_table(trace, args.output, counters=counters,
+                             task_filter=task_filter)
+    print("exported {} rows to {}".format(rows, args.output))
+
+
+def cmd_dot(args):
+    trace = read_trace(args.trace)
+    graph = reconstruct_task_graph(trace)
+    subset = (graph.neighborhood(args.task, args.hops)
+              if args.task is not None else None)
+    export_dot(graph, path=args.output, task_ids=subset, trace=trace)
+    print("wrote", args.output)
+
+
+def cmd_anomalies(args):
+    trace = read_trace(args.trace)
+    findings = scan(trace)
+    if not findings:
+        print("no anomalies found")
+        return
+    for finding in findings:
+        print("{:18s} severity {:6.2f}  [{} .. {})  {}".format(
+            finding.kind, finding.severity, finding.start, finding.end,
+            finding.description))
+
+
+def cmd_profile(args):
+    trace = read_trace(args.trace)
+    print(describe_profile(task_type_profile(trace)))
+
+
+def cmd_critical_path(args):
+    trace = read_trace(args.trace)
+    report = critical_path_report(trace)
+    print(report.describe())
+    if args.show_path:
+        print("path:", " -> ".join(str(task) for task in report.path))
+
+
+def cmd_task(args):
+    trace = read_trace(args.trace)
+    print(task_details(trace, args.task_id).describe())
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def with_trace(name, handler, **extra):
+        sub = commands.add_parser(name)
+        sub.add_argument("trace")
+        sub.set_defaults(handler=handler)
+        return sub
+
+    with_trace("info", cmd_info)
+
+    report = with_trace("report", cmd_report)
+    report.add_argument("--start", type=int, default=None)
+    report.add_argument("--end", type=int, default=None)
+
+    render = with_trace("render", cmd_render)
+    render.add_argument("output")
+    render.add_argument("--mode", choices=sorted(MODES), default="state")
+    render.add_argument("--width", type=int, default=1024)
+    render.add_argument("--lane", type=int, default=4)
+    render.add_argument("--start", type=int, default=None)
+    render.add_argument("--end", type=int, default=None)
+
+    with_trace("parallelism", cmd_parallelism)
+
+    matrix = with_trace("matrix", cmd_matrix)
+    matrix.add_argument("--kind", choices=("any", "read", "write"),
+                        default="any")
+
+    export = with_trace("export", cmd_export)
+    export.add_argument("output")
+    export.add_argument("--type", default=None)
+
+    dot = with_trace("dot", cmd_dot)
+    dot.add_argument("output")
+    dot.add_argument("--task", type=int, default=None)
+    dot.add_argument("--hops", type=int, default=2)
+
+    with_trace("anomalies", cmd_anomalies)
+    with_trace("profile", cmd_profile)
+
+    critical = with_trace("critical-path", cmd_critical_path)
+    critical.add_argument("--show-path", action="store_true")
+
+    task = with_trace("task", cmd_task)
+    task.add_argument("task_id", type=int)
+
+    args = parser.parse_args(argv)
+    args.handler(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a task-parallel run, trace it, analyze it.
+
+Walks the full pipeline in five steps:
+
+1. build a NUMA machine and the seidel task graph;
+2. execute it on the simulated work-stealing run-time with tracing;
+3. compute statistics and derived metrics (Aftermath's core);
+4. render the timeline in state mode to a PPM image;
+5. save the trace to a compressed file and load it back.
+
+Run:  python examples/quickstart.py [output-directory]
+"""
+
+import sys
+
+from repro.core import (WorkerState, average_parallelism, interval_report,
+                        reconstruct_task_graph, state_count_series)
+from repro.render import StateMode, TimelineView, render_timeline
+from repro.runtime import (Machine, RandomStealScheduler, TraceCollector,
+                           run_program)
+from repro.trace_format import read_trace, write_trace
+from repro.workloads import SeidelConfig, build_seidel
+
+
+def main(output_dir="."):
+    # 1. A machine with 4 NUMA nodes x 8 cores, and a blocked 2-D
+    #    stencil: 12x12 blocks of 64x64 doubles, 8 Gauss-Seidel sweeps.
+    machine = Machine(num_nodes=4, cores_per_node=8, name="quickstart")
+    program = build_seidel(machine, SeidelConfig(blocks=12, block_dim=64,
+                                                 steps=8))
+    print("machine:", machine)
+    print("program:", program)
+
+    # 2. Execute under random work-stealing, collecting a trace.
+    collector = TraceCollector(machine)
+    result, trace = run_program(program,
+                                RandomStealScheduler(machine, seed=42),
+                                collector=collector)
+    print("makespan: {:.1f} Mcycles, {} steals, {} page faults".format(
+        result.makespan / 1e6, result.steals, result.page_faults))
+
+    # 3. Statistics for the whole execution.
+    print()
+    print(interval_report(trace).describe())
+    print("average parallelism: {:.1f} of {} cores".format(
+        average_parallelism(trace), machine.num_cores))
+    __, idle = state_count_series(trace, WorkerState.IDLE, 100)
+    print("peak idle workers: {:.0f}".format(idle.max()))
+    graph = reconstruct_task_graph(trace)
+    __, counts = graph.parallelism_profile()
+    print("task graph: {} tasks, {} edges, critical path {} edges, "
+          "peak available parallelism {}".format(
+              len(graph.nodes), graph.num_edges,
+              graph.critical_path_length(), counts.max()))
+
+    # 4. Render the state timeline.
+    view = TimelineView.fit(trace, width=1024,
+                            height=4 * trace.num_cores)
+    framebuffer = render_timeline(trace, StateMode(), view)
+    image_path = "{}/quickstart_states.ppm".format(output_dir)
+    framebuffer.save_ppm(image_path)
+    print("\ntimeline written to", image_path)
+
+    # 5. Round-trip through the compressed binary trace format.
+    trace_path = "{}/quickstart.ost.gz".format(output_dir)
+    records = write_trace(trace, trace_path)
+    reloaded = read_trace(trace_path)
+    print("trace file: {} records -> {}".format(records, trace_path))
+    print("reloaded: {} (identical task count: {})".format(
+        reloaded, len(reloaded.tasks) == len(trace.tasks)))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else ".")

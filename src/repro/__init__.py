@@ -1,0 +1,21 @@
+"""Reproduction of "Interactive Visualization of Cross-Layer Performance
+Anomalies in Dynamic Task-Parallel Applications and Systems"
+(Drebes, Pop, Heydemann, Cohen — ISPASS 2016).
+
+Subpackages:
+
+* :mod:`repro.core` — Aftermath's analysis core (the paper's
+  contribution): trace model, indexes, filters, derived metrics,
+  statistics, NUMA locality analysis, task-graph reconstruction,
+  correlation tools, symbols and annotations.
+* :mod:`repro.render` — headless timeline rendering with the paper's
+  optimizations (predominant pixel, rectangle aggregation, min/max
+  counter lines).
+* :mod:`repro.trace_format` — the binary trace format with transparent
+  compression.
+* :mod:`repro.runtime` — the simulated NUMA machine and task-parallel
+  run-time used as the substrate generating traces.
+* :mod:`repro.workloads` — the paper's applications (seidel, k-means).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,83 @@
+"""User annotations (Section VI-C).
+
+Trace analysis can be time-consuming and collaborative; Aftermath lets
+users record annotations tied to a position in the trace and saves them
+*independently from the trace file*, so they can be loaded again in a
+later analysis session or shared with colleagues.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Annotation:
+    """A user note anchored to a core and a timestamp."""
+
+    timestamp: int
+    text: str
+    core: Optional[int] = None
+    author: str = ""
+
+    def to_dict(self):
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(timestamp=int(data["timestamp"]), text=data["text"],
+                   core=data.get("core"), author=data.get("author", ""))
+
+
+class AnnotationStore:
+    """An ordered collection of annotations with JSON persistence."""
+
+    FORMAT_VERSION = 1
+
+    def __init__(self, annotations=()):
+        self._annotations: List[Annotation] = list(annotations)
+        self._sort()
+
+    def _sort(self):
+        self._annotations.sort(key=lambda note: (note.timestamp,
+                                                 note.core or -1))
+
+    def __len__(self):
+        return len(self._annotations)
+
+    def __iter__(self):
+        return iter(self._annotations)
+
+    def add(self, annotation):
+        self._annotations.append(annotation)
+        self._sort()
+
+    def remove(self, annotation):
+        self._annotations.remove(annotation)
+
+    def in_interval(self, start, end, core=None):
+        """Annotations inside [start, end), optionally on one core."""
+        return [note for note in self._annotations
+                if start <= note.timestamp < end
+                and (core is None or note.core == core)]
+
+    def save(self, path):
+        """Persist to a JSON file separate from the trace."""
+        payload = {"version": self.FORMAT_VERSION,
+                   "annotations": [note.to_dict()
+                                   for note in self._annotations]}
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as handle:
+            payload = json.load(handle)
+        version = payload.get("version")
+        if version != cls.FORMAT_VERSION:
+            raise ValueError("unsupported annotation file version: {!r}"
+                             .format(version))
+        return cls(Annotation.from_dict(entry)
+                   for entry in payload["annotations"])

@@ -1,0 +1,239 @@
+"""Semi-automatic detection of performance anomalies.
+
+The paper's conclusion announces "semi-automatic statistical methods to
+quickly focus the search for interesting anomalies" as work in
+progress.  This module implements that layer on top of the analysis
+core: scanners that walk a trace and emit ranked :class:`Anomaly`
+findings, each pointing at a time interval (and optionally cores or
+task types) worth inspecting in the timeline.
+
+Detectors cover the anomaly families the paper studies manually:
+
+* :func:`detect_idle_phases` — intervals where many workers idle
+  simultaneously (Section III-A);
+* :func:`detect_duration_outliers` — task types whose duration
+  distribution has heavy outliers or is multi-modal (Sections III-B, V);
+* :func:`detect_locality_anomalies` — phases with high remote-access
+  fractions (Section IV);
+* :func:`detect_load_imbalance` — intervals where per-core busy time
+  diverges (Section III-C);
+* :func:`correlate_counters` — ranks every recorded hardware counter
+  by the strength of its linear relationship with task duration, the
+  automated form of the Section V investigation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .correlation import counter_rate_per_task, linear_regression
+from .events import WorkerState
+from .filters import TaskTypeFilter
+from .metrics import interval_edges, state_count_series
+from .numa import average_remote_fraction
+from .statistics import per_core_state_time
+
+
+@dataclass
+class Anomaly:
+    """One ranked finding of a detector."""
+
+    kind: str
+    severity: float            # detector-specific, higher = worse
+    start: int
+    end: int
+    description: str
+    cores: Optional[List[int]] = None
+    task_type: Optional[str] = None
+
+    def __repr__(self):
+        return ("Anomaly({}, severity={:.2f}, [{} .. {}): {})"
+                .format(self.kind, self.severity, self.start, self.end,
+                        self.description))
+
+
+def _merge_flagged_bins(edges, flagged):
+    """Contiguous runs of flagged bins -> (start, end, bins) tuples."""
+    runs = []
+    run_start = None
+    for index, hot in enumerate(flagged):
+        if hot and run_start is None:
+            run_start = index
+        elif not hot and run_start is not None:
+            runs.append((int(edges[run_start]), int(edges[index]),
+                         index - run_start))
+            run_start = None
+    if run_start is not None:
+        runs.append((int(edges[run_start]), int(edges[-1]),
+                     len(flagged) - run_start))
+    return runs
+
+
+def detect_idle_phases(trace, num_intervals=200, threshold=0.5):
+    """Intervals where more than ``threshold`` of the workers idle.
+
+    This automates the visual detection of the light-blue bands of
+    Fig. 2 and the derived-counter confirmation of Fig. 3.
+    """
+    edges, counts = state_count_series(trace, WorkerState.IDLE,
+                                       num_intervals)
+    fractions = counts / trace.num_cores
+    anomalies = []
+    for start, end, bins in _merge_flagged_bins(edges,
+                                                fractions >= threshold):
+        window = fractions[(edges[:-1] >= start) & (edges[:-1] < end)]
+        peak = float(window.max()) if len(window) else threshold
+        anomalies.append(Anomaly(
+            kind="idle-phase", severity=peak, start=start, end=end,
+            description="{:.0%} of workers idle at the peak "
+            "({} intervals)".format(peak, bins)))
+    anomalies.sort(key=lambda anomaly: -anomaly.severity)
+    return anomalies
+
+
+def detect_duration_outliers(trace, z_threshold=3.0, min_tasks=10):
+    """Task types with far-outlying durations (z-score based).
+
+    Returns one anomaly per (type, outlier group), pointing at the
+    interval covering the outliers — e.g. seidel's initialization
+    tasks stand out against the compute tasks.
+    """
+    anomalies = []
+    columns = trace.tasks.columns
+    durations = (columns["end"] - columns["start"]).astype(np.float64)
+    if len(durations) < min_tasks:
+        return anomalies
+    mean = durations.mean()
+    std = durations.std()
+    if std == 0:
+        return anomalies
+    scores = (durations - mean) / std
+    outliers = scores > z_threshold
+    if not outliers.any():
+        return anomalies
+    type_names = {info.type_id: info.name for info in trace.task_types}
+    for type_id in np.unique(columns["type_id"][outliers]):
+        mask = outliers & (columns["type_id"] == type_id)
+        anomalies.append(Anomaly(
+            kind="duration-outlier",
+            severity=float(scores[mask].max()),
+            start=int(columns["start"][mask].min()),
+            end=int(columns["end"][mask].max()),
+            task_type=type_names.get(int(type_id)),
+            description="{} tasks of type {} are >{:.0f} sigma slower "
+            "than the mean ({:.0f} vs {:.0f} cycles)".format(
+                int(mask.sum()), type_names.get(int(type_id)),
+                z_threshold, durations[mask].mean(), mean)))
+    anomalies.sort(key=lambda anomaly: -anomaly.severity)
+    return anomalies
+
+
+def detect_locality_anomalies(trace, num_intervals=20, threshold=0.4):
+    """Phases whose remote-access fraction exceeds ``threshold``.
+
+    Automates the NUMA heatmap reading of Fig. 14e/f: a healthy
+    NUMA-aware execution stays mostly blue (local)."""
+    edges = interval_edges(trace, num_intervals)
+    anomalies = []
+    for index in range(num_intervals):
+        start, end = int(edges[index]), int(edges[index + 1])
+        remote = average_remote_fraction(trace, start=start, end=end)
+        if remote >= threshold:
+            anomalies.append(Anomaly(
+                kind="poor-locality", severity=remote, start=start,
+                end=end,
+                description="{:.0%} of accessed bytes are remote"
+                .format(remote)))
+    anomalies.sort(key=lambda anomaly: -anomaly.severity)
+    return anomalies
+
+
+def detect_load_imbalance(trace, num_intervals=10, threshold=0.25):
+    """Intervals where per-core busy time diverges.
+
+    Severity is the coefficient of variation of per-core RUNNING time
+    within the interval; the alternating idle patterns of Fig. 13b/c
+    show up here."""
+    edges = interval_edges(trace, num_intervals)
+    anomalies = []
+    for index in range(num_intervals):
+        start, end = int(edges[index]), int(edges[index + 1])
+        busy = per_core_state_time(trace, WorkerState.RUNNING, start,
+                                   end).astype(np.float64)
+        if busy.sum() == 0:
+            continue
+        cv = float(busy.std() / busy.mean()) if busy.mean() else 0.0
+        if cv >= threshold:
+            laggards = [int(core) for core in
+                        np.flatnonzero(busy < busy.mean() / 2)]
+            anomalies.append(Anomaly(
+                kind="load-imbalance", severity=cv, start=start, end=end,
+                cores=laggards or None,
+                description="per-core busy time varies (CV {:.2f}); "
+                "{} cores under half the mean".format(cv,
+                                                      len(laggards))))
+    anomalies.sort(key=lambda anomaly: -anomaly.severity)
+    return anomalies
+
+
+@dataclass
+class CounterCorrelation:
+    """Strength of the duration ~ counter-rate relationship."""
+
+    counter: str
+    task_type: str
+    r_squared: float
+    slope: float
+    samples: int
+
+
+def correlate_counters(trace, task_filter=None, min_tasks=10,
+                       require_positive_slope=True):
+    """Rank all counters by their correlation with task duration.
+
+    The automated Section V: instead of hand-picking branch
+    mispredictions, fit every recorded counter and return the ranking.
+
+    ``require_positive_slope`` drops inverse relationships: a counter
+    whose per-task increment is roughly constant trivially anticorrelates
+    its *rate* with duration (rate = constant / duration), which never
+    explains slowness.  Only counters whose rate *increases* duration
+    are candidates for a causal story like Fig. 19's.
+    """
+    results = []
+    type_names = [info.name for info in trace.task_types]
+    filters = ([(name, TaskTypeFilter(name)) for name in type_names]
+               if task_filter is None else [("<filtered>", task_filter)])
+    for type_name, current in filters:
+        if current.count(trace) < min_tasks:
+            continue
+        for description in trace.counter_descriptions:
+            columns, rates = counter_rate_per_task(
+                trace, description.counter_id, current)
+            durations = (columns["end"] - columns["start"]).astype(float)
+            if len(rates) < min_tasks or np.ptp(rates) == 0:
+                continue
+            fit = linear_regression(rates, durations)
+            if require_positive_slope and fit.slope <= 0:
+                continue
+            results.append(CounterCorrelation(
+                counter=description.name, task_type=type_name,
+                r_squared=fit.r_squared, slope=fit.slope,
+                samples=fit.samples))
+    results.sort(key=lambda entry: -entry.r_squared)
+    return results
+
+
+def scan(trace, num_intervals=100):
+    """Run every detector and return all findings, ranked by severity
+    within each kind — the "quickly focus the search" entry point."""
+    findings = []
+    findings.extend(detect_idle_phases(trace, num_intervals))
+    findings.extend(detect_duration_outliers(trace))
+    if len(trace.accesses["task_id"]):
+        findings.extend(detect_locality_anomalies(trace))
+    findings.extend(detect_load_imbalance(trace))
+    return findings

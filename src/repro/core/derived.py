@@ -1,0 +1,275 @@
+"""Configurable derived-metric generators (Section II-A.5, Fig. 1 box 5).
+
+Aftermath's GUI has "a menu for customizing generators of metrics
+derived from high-level events or metrics that combine existing
+statistical counters (e.g., average task duration, number of bytes
+exchanged between specific NUMA nodes, ratio of hardware counters,
+etc.), overlaid on the timeline".
+
+This module provides that generator layer: small declarative *spec*
+objects that are composed, materialized against a trace into a
+:class:`DerivedSeries`, and rendered like any counter.  Specs are
+plain data, so a saved analysis configuration is just a list of specs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from . import metrics
+from .events import WorkerState
+
+
+@dataclass(frozen=True)
+class DerivedSeries:
+    """A materialized derived metric: one value per interval."""
+
+    name: str
+    edges: Tuple[float, ...]
+    values: Tuple[float, ...]
+
+    def as_arrays(self):
+        return (np.asarray(self.edges, dtype=np.float64),
+                np.asarray(self.values, dtype=np.float64))
+
+    def sample_points(self):
+        """(timestamps, values) at interval midpoints — the form the
+        counter overlay renderer consumes."""
+        edges, values = self.as_arrays()
+        midpoints = (edges[:-1] + edges[1:]) / 2.0
+        return midpoints.astype(np.int64), values
+
+
+class DerivedMetric:
+    """Base class: ``materialize(trace)`` produces a series."""
+
+    name = "derived"
+
+    def materialize(self, trace, num_intervals=200, start=None,
+                    end=None):
+        raise NotImplementedError
+
+    def __truediv__(self, other):
+        return Ratio(self, other)
+
+    def derivative(self):
+        return Derivative(self)
+
+
+@dataclass(frozen=True)
+class WorkersInState(DerivedMetric):
+    """Number of workers simultaneously in a state (Fig. 3)."""
+
+    state: int = int(WorkerState.IDLE)
+    cores: Optional[Tuple[int, ...]] = None
+
+    @property
+    def name(self):
+        return "workers_in_{}".format(WorkerState(self.state).name)
+
+    def materialize(self, trace, num_intervals=200, start=None,
+                    end=None):
+        edges, counts = metrics.state_count_series(
+            trace, self.state, num_intervals, cores=self.cores,
+            start=start, end=end)
+        return DerivedSeries(self.name, tuple(edges), tuple(counts))
+
+
+@dataclass(frozen=True)
+class AverageTaskDuration(DerivedMetric):
+    """Average duration of executing tasks per interval (Fig. 8)."""
+
+    name: str = "average_task_duration"
+
+    def materialize(self, trace, num_intervals=200, start=None,
+                    end=None):
+        edges, averages = metrics.average_task_duration_series(
+            trace, num_intervals, start=start, end=end)
+        return DerivedSeries(self.name, tuple(edges), tuple(averages))
+
+
+@dataclass(frozen=True)
+class AggregatedCounter(DerivedMetric):
+    """Per-worker counter summed into a global series (Section III-B)."""
+
+    counter: str = "cache_misses"
+    cores: Optional[Tuple[int, ...]] = None
+
+    @property
+    def name(self):
+        return "aggregate_{}".format(self.counter)
+
+    def materialize(self, trace, num_intervals=200, start=None,
+                    end=None):
+        edges, totals = metrics.aggregate_counter_series(
+            trace, self.counter, num_intervals, cores=self.cores,
+            start=start, end=end)
+        # Totals are sampled at edges; fold to per-interval means.
+        values = (np.asarray(totals[:-1]) + np.asarray(totals[1:])) / 2.0
+        return DerivedSeries(self.name, tuple(edges), tuple(values))
+
+
+@dataclass(frozen=True)
+class BytesBetweenNodes(DerivedMetric):
+    """Bytes flowing from one NUMA node to tasks on another."""
+
+    src_node: int = 0
+    dst_node: int = 0
+
+    @property
+    def name(self):
+        return "bytes_{}_to_{}".format(self.src_node, self.dst_node)
+
+    def materialize(self, trace, num_intervals=200, start=None,
+                    end=None):
+        edges, totals = metrics.bytes_between_nodes_series(
+            trace, self.src_node, self.dst_node, num_intervals,
+            start=start, end=end)
+        return DerivedSeries(self.name, tuple(edges), tuple(totals))
+
+
+@dataclass(frozen=True)
+class Derivative(DerivedMetric):
+    """Difference quotient of another derived metric (Fig. 10/18)."""
+
+    inner: DerivedMetric = field(default_factory=AverageTaskDuration)
+
+    @property
+    def name(self):
+        return "d({})".format(self.inner.name)
+
+    def materialize(self, trace, num_intervals=200, start=None,
+                    end=None):
+        series = self.inner.materialize(trace, num_intervals, start, end)
+        edges, values = series.as_arrays()
+        # Treat the per-interval values as samples at midpoints.
+        midpoints = (edges[:-1] + edges[1:]) / 2.0
+        rates = metrics.discrete_derivative(midpoints, values)
+        return DerivedSeries(self.name, tuple(midpoints), tuple(rates))
+
+
+@dataclass(frozen=True)
+class Ratio(DerivedMetric):
+    """Pointwise ratio of two derived metrics (e.g. misses/cycle)."""
+
+    numerator: DerivedMetric = field(default_factory=AverageTaskDuration)
+    denominator: DerivedMetric = field(
+        default_factory=AverageTaskDuration)
+
+    @property
+    def name(self):
+        return "{} / {}".format(self.numerator.name,
+                                self.denominator.name)
+
+    def materialize(self, trace, num_intervals=200, start=None,
+                    end=None):
+        top = self.numerator.materialize(trace, num_intervals, start,
+                                         end)
+        bottom = self.denominator.materialize(trace, num_intervals,
+                                              start, end)
+        __, top_values = top.as_arrays()
+        __, bottom_values = bottom.as_arrays()
+        count = min(len(top_values), len(bottom_values))
+        values = np.divide(top_values[:count], bottom_values[:count],
+                           out=np.zeros(count),
+                           where=bottom_values[:count] != 0)
+        return DerivedSeries(self.name, top.edges[:count + 1],
+                             tuple(values))
+
+
+class DerivedMetricMenu:
+    """The configured set of generators, as in Fig. 1's box 5.
+
+    Generators are registered under a display name and materialized
+    together; the menu itself serializes to/from a plain dict so an
+    analysis configuration can be stored alongside annotations.
+    """
+
+    def __init__(self):
+        self._generators: Dict[str, DerivedMetric] = {}
+
+    def add(self, metric, name=None):
+        self._generators[name or metric.name] = metric
+        return self
+
+    def remove(self, name):
+        del self._generators[name]
+
+    def names(self):
+        return sorted(self._generators)
+
+    def __len__(self):
+        return len(self._generators)
+
+    def materialize_all(self, trace, num_intervals=200):
+        return {name: generator.materialize(trace, num_intervals)
+                for name, generator in self._generators.items()}
+
+    # -- persistence --------------------------------------------------
+    def to_config(self):
+        return {name: _spec_to_dict(generator)
+                for name, generator in self._generators.items()}
+
+    @classmethod
+    def from_config(cls, config):
+        menu = cls()
+        for name, spec in config.items():
+            menu.add(_spec_from_dict(spec), name=name)
+        return menu
+
+
+_SPEC_KINDS = {
+    "workers_in_state": WorkersInState,
+    "average_task_duration": AverageTaskDuration,
+    "aggregated_counter": AggregatedCounter,
+    "bytes_between_nodes": BytesBetweenNodes,
+    "derivative": Derivative,
+    "ratio": Ratio,
+}
+
+
+def _spec_to_dict(metric):
+    if isinstance(metric, WorkersInState):
+        return {"kind": "workers_in_state", "state": int(metric.state),
+                "cores": list(metric.cores) if metric.cores else None}
+    if isinstance(metric, AverageTaskDuration):
+        return {"kind": "average_task_duration"}
+    if isinstance(metric, AggregatedCounter):
+        return {"kind": "aggregated_counter", "counter": metric.counter,
+                "cores": list(metric.cores) if metric.cores else None}
+    if isinstance(metric, BytesBetweenNodes):
+        return {"kind": "bytes_between_nodes", "src": metric.src_node,
+                "dst": metric.dst_node}
+    if isinstance(metric, Derivative):
+        return {"kind": "derivative", "inner": _spec_to_dict(metric.inner)}
+    if isinstance(metric, Ratio):
+        return {"kind": "ratio",
+                "numerator": _spec_to_dict(metric.numerator),
+                "denominator": _spec_to_dict(metric.denominator)}
+    raise TypeError("unknown derived metric {!r}".format(metric))
+
+
+def _spec_from_dict(spec):
+    kind = spec["kind"]
+    if kind == "workers_in_state":
+        cores = spec.get("cores")
+        return WorkersInState(state=spec["state"],
+                              cores=tuple(cores) if cores else None)
+    if kind == "average_task_duration":
+        return AverageTaskDuration()
+    if kind == "aggregated_counter":
+        cores = spec.get("cores")
+        return AggregatedCounter(counter=spec["counter"],
+                                 cores=tuple(cores) if cores else None)
+    if kind == "bytes_between_nodes":
+        return BytesBetweenNodes(src_node=spec["src"],
+                                 dst_node=spec["dst"])
+    if kind == "derivative":
+        return Derivative(inner=_spec_from_dict(spec["inner"]))
+    if kind == "ratio":
+        return Ratio(numerator=_spec_from_dict(spec["numerator"]),
+                     denominator=_spec_from_dict(spec["denominator"]))
+    raise ValueError("unknown derived metric kind {!r}".format(kind))

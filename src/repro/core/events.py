@@ -1,0 +1,172 @@
+"""Event data model shared by the tracer and the analysis tool.
+
+An Aftermath trace is a stream of records: worker state intervals,
+discrete events, hardware counter samples, task execution intervals,
+memory accesses, communication events, plus static descriptions (machine
+topology, counter descriptions, memory region placement, task types).
+This module defines the in-memory form of each record.  The binary
+encoding lives in :mod:`repro.trace_format`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class WorkerState(enum.IntEnum):
+    """The main activities a worker thread traverses (Section II-B.1)."""
+
+    RUNNING = 0       # executing a task
+    IDLE = 1          # out of work; engaging in work-stealing
+    CREATE = 2        # creating tasks
+    SYNC = 3          # waiting on a synchronization barrier
+    BROADCAST = 4     # broadcasting data to other workers
+    STEAL = 5         # actively transferring a stolen task
+
+
+#: Display names used by legends, text views and DOT export.
+STATE_NAMES = {
+    WorkerState.RUNNING: "task execution",
+    WorkerState.IDLE: "idle / work-stealing",
+    WorkerState.CREATE: "task creation",
+    WorkerState.SYNC: "synchronization",
+    WorkerState.BROADCAST: "broadcast",
+    WorkerState.STEAL: "steal",
+}
+
+
+class DiscreteEventKind(enum.IntEnum):
+    """Point events overlaid on the timeline (Section II-A.1)."""
+
+    TASK_CREATED = 0
+    TASK_STOLEN = 1
+    REGION_ALLOCATED = 2
+    ANNOTATION = 3
+
+
+@dataclass(frozen=True)
+class StateInterval:
+    """Worker ``core`` was in ``state`` during [start, end)."""
+
+    core: int
+    state: int
+    start: int
+    end: int
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TaskExecution:
+    """One task instance executed on ``core`` during [start, end)."""
+
+    task_id: int
+    type_id: int
+    core: int
+    start: int
+    end: int
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """Sample of a monotone (or derived) per-core counter."""
+
+    core: int
+    counter_id: int
+    timestamp: int
+    value: float
+
+
+@dataclass(frozen=True)
+class CounterDescription:
+    """Static description of a performance counter present in the trace."""
+
+    counter_id: int
+    name: str
+    monotone: bool = True
+
+
+@dataclass(frozen=True)
+class DiscreteEvent:
+    """A point event: task creation, steal, allocation, annotation."""
+
+    core: int
+    kind: int
+    timestamp: int
+    payload: int = 0          # task id, region id, ... depending on kind
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """Communication between workers or nodes (e.g. a successful steal or
+    a data transfer between dependent tasks)."""
+
+    src_core: int
+    dst_core: int
+    timestamp: int
+    size: int = 0
+    task_id: int = -1
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """A read or write performed by a task (addresses, not regions: the
+    region and its NUMA placement are looked up at analysis time, which
+    is the redundancy-avoidance scheme of Section VI-A)."""
+
+    task_id: int
+    core: int
+    address: int
+    size: int
+    is_write: bool
+    timestamp: int
+
+
+@dataclass(frozen=True)
+class RegionInfo:
+    """Static NUMA placement of a memory region, stored once per region."""
+
+    region_id: int
+    address: int
+    size: int
+    page_nodes: Tuple[int, ...]
+    name: str = ""
+
+    @property
+    def end(self):
+        return self.address + self.size
+
+
+@dataclass(frozen=True)
+class TaskTypeInfo:
+    """Static description of a work function."""
+
+    type_id: int
+    name: str
+    address: int = 0
+    source_file: str = ""
+    source_line: int = 0
+
+
+@dataclass(frozen=True)
+class TopologyInfo:
+    """Machine topology as recorded in the trace."""
+
+    num_nodes: int
+    cores_per_node: int
+    name: str = "machine"
+
+    @property
+    def num_cores(self):
+        return self.num_nodes * self.cores_per_node
+
+    def node_of_core(self, core):
+        return core // self.cores_per_node

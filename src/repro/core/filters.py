@@ -1,0 +1,175 @@
+"""Task filters (Section II-A.3).
+
+Filters control what the timeline, the statistical views and the export
+facilities operate on: "only tasks of a specific type, tasks whose
+execution duration is in a certain range or tasks that write to certain
+NUMA nodes".  A filter produces a boolean mask aligned with the trace's
+task-execution table; filters compose with ``&``, ``|`` and ``~``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class TaskFilter:
+    """Base class: subclasses implement :meth:`mask`."""
+
+    def mask(self, trace):
+        """Boolean array selecting task executions (one entry per task in
+        ``trace.tasks``, in the trace's canonical task order)."""
+        raise NotImplementedError
+
+    def count(self, trace):
+        return int(self.mask(trace).sum())
+
+    def __and__(self, other):
+        return _Combined(np.logical_and, self, other)
+
+    def __or__(self, other):
+        return _Combined(np.logical_or, self, other)
+
+    def __invert__(self):
+        return _Inverted(self)
+
+
+class _Combined(TaskFilter):
+    def __init__(self, combine, left, right):
+        self.combine = combine
+        self.left = left
+        self.right = right
+
+    def mask(self, trace):
+        return self.combine(self.left.mask(trace), self.right.mask(trace))
+
+
+class _Inverted(TaskFilter):
+    def __init__(self, inner):
+        self.inner = inner
+
+    def mask(self, trace):
+        return ~self.inner.mask(trace)
+
+
+class AllTasks(TaskFilter):
+    """The neutral filter: selects everything."""
+
+    def mask(self, trace):
+        return np.ones(len(trace.tasks), dtype=bool)
+
+
+class TaskTypeFilter(TaskFilter):
+    """Tasks whose work function is one of the given types.
+
+    Accepts type names or numeric type ids.
+    """
+
+    def __init__(self, *types):
+        if not types:
+            raise ValueError("TaskTypeFilter needs at least one type")
+        self.types = types
+
+    def _type_ids(self, trace):
+        by_name = {info.name: info.type_id for info in trace.task_types}
+        ids = set()
+        for entry in self.types:
+            if isinstance(entry, str):
+                if entry not in by_name:
+                    raise KeyError("unknown task type {!r}".format(entry))
+                ids.add(by_name[entry])
+            else:
+                ids.add(int(entry))
+        return ids
+
+    def mask(self, trace):
+        ids = self._type_ids(trace)
+        type_column = trace.tasks.columns["type_id"]
+        return np.isin(type_column, sorted(ids))
+
+
+class DurationFilter(TaskFilter):
+    """Tasks whose execution duration lies in [minimum, maximum]."""
+
+    def __init__(self, minimum=0, maximum=None):
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def mask(self, trace):
+        columns = trace.tasks.columns
+        durations = columns["end"] - columns["start"]
+        selected = durations >= self.minimum
+        if self.maximum is not None:
+            selected &= durations <= self.maximum
+        return selected
+
+
+class IntervalFilter(TaskFilter):
+    """Tasks whose execution overlaps [start, end) — the filter behind
+    the user-selected timeline interval feeding the statistics views."""
+
+    def __init__(self, start, end):
+        self.start = start
+        self.end = end
+
+    def mask(self, trace):
+        columns = trace.tasks.columns
+        return ((columns["start"] < self.end)
+                & (columns["end"] > self.start))
+
+
+class CoreFilter(TaskFilter):
+    """Tasks executed on the given cores."""
+
+    def __init__(self, cores):
+        self.cores = sorted(set(int(core) for core in cores))
+
+    def mask(self, trace):
+        return np.isin(trace.tasks.columns["core"], self.cores)
+
+
+class NumaNodeFilter(TaskFilter):
+    """Tasks that read from / write to given NUMA nodes.
+
+    ``mode`` selects which accesses count: ``"read"``, ``"write"`` or
+    ``"any"``.  A task matches when at least one of its accesses of the
+    selected kind targets one of the nodes.
+    """
+
+    def __init__(self, nodes, mode="write"):
+        if mode not in ("read", "write", "any"):
+            raise ValueError("mode must be 'read', 'write' or 'any'")
+        self.nodes = sorted(set(int(node) for node in nodes))
+        self.mode = mode
+
+    def mask(self, trace):
+        accesses = trace.accesses
+        keep = np.ones(len(accesses["task_id"]), dtype=bool)
+        if self.mode == "read":
+            keep = accesses["is_write"] == 0
+        elif self.mode == "write":
+            keep = accesses["is_write"] == 1
+        nodes = trace.nodes_of_addresses(accesses["address"][keep])
+        matching = np.isin(nodes, self.nodes)
+        matching_tasks = np.unique(accesses["task_id"][keep][matching])
+        return np.isin(trace.tasks.columns["task_id"], matching_tasks)
+
+
+class PredicateFilter(TaskFilter):
+    """Escape hatch: a Python predicate over :class:`TaskExecution`."""
+
+    def __init__(self, predicate):
+        self.predicate = predicate
+
+    def mask(self, trace):
+        return np.asarray([bool(self.predicate(execution))
+                           for execution in trace.task_executions()],
+                          dtype=bool)
+
+
+def filtered_tasks(trace, task_filter=None):
+    """Task-execution columns restricted to a filter (or all tasks)."""
+    columns = trace.tasks.columns
+    if task_filter is None:
+        return dict(columns)
+    selected = task_filter.mask(trace)
+    return {name: values[selected] for name, values in columns.items()}

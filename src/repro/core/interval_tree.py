@@ -1,0 +1,118 @@
+"""N-ary min/max search tree for performance counters (Section VI-B-c).
+
+For each performance counter and each core, Aftermath builds an n-ary
+search tree that answers "minimum and maximum counter value in any
+interval" without scanning every sample — the key optimization behind
+fast counter rendering (each horizontal pixel needs exactly the min and
+max of its time sub-interval, Fig. 21).
+
+The paper uses a default arity of 100, which keeps the tree's memory
+overhead below 5 % of the sample data itself (the node count of a
+geometric series with ratio 1/100 is ~1.01 % of the leaves).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_ARITY = 100
+
+
+class MinMaxTree:
+    """Range-min/max over a fixed array of samples.
+
+    ``values`` is the leaf level; each internal level stores the min and
+    max of ``arity`` children.  Queries run in O(arity * log_arity(n)).
+    """
+
+    def __init__(self, values, arity=DEFAULT_ARITY):
+        if arity < 2:
+            raise ValueError("arity must be at least 2")
+        self.arity = arity
+        leaves = np.asarray(values, dtype=np.float64)
+        self._mins = [leaves]
+        self._maxs = [leaves]
+        while len(self._mins[-1]) > 1:
+            self._mins.append(self._reduce(self._mins[-1], np.fmin))
+            self._maxs.append(self._reduce(self._maxs[-1], np.fmax))
+
+    def _reduce(self, level, combine):
+        count = len(level)
+        parents = (count + self.arity - 1) // self.arity
+        padded = np.full(parents * self.arity, level[0], dtype=np.float64)
+        padded[:count] = level
+        # Pad the tail with the last value so padding never wins min/max.
+        padded[count:] = level[-1]
+        reshaped = padded.reshape(parents, self.arity)
+        return combine.reduce(reshaped, axis=1)
+
+    def __len__(self):
+        return len(self._mins[0])
+
+    @property
+    def levels(self):
+        return len(self._mins)
+
+    def overhead_fraction(self):
+        """Tree nodes as a fraction of the leaf count (paper: <= 5 %)."""
+        leaves = len(self._mins[0])
+        if leaves == 0:
+            return 0.0
+        internal = sum(len(level) for level in self._mins[1:])
+        return internal / leaves
+
+    def query(self, lo, hi):
+        """(min, max) of ``values[lo:hi]``; raises on an empty range."""
+        if lo < 0 or hi > len(self) or lo >= hi:
+            raise ValueError("invalid query range [{}, {})".format(lo, hi))
+        minimum = np.inf
+        maximum = -np.inf
+        level = 0
+        arity = self.arity
+        while lo < hi:
+            mins = self._mins[level]
+            maxs = self._maxs[level]
+            # Consume leading elements until lo is block-aligned.
+            while lo % arity != 0 and lo < hi:
+                minimum = min(minimum, mins[lo])
+                maximum = max(maximum, maxs[lo])
+                lo += 1
+            # Consume trailing elements until hi is block-aligned.
+            while hi % arity != 0 and lo < hi:
+                hi -= 1
+                minimum = min(minimum, mins[hi])
+                maximum = max(maximum, maxs[hi])
+            lo //= arity
+            hi //= arity
+            level += 1
+        return float(minimum), float(maximum)
+
+
+class CounterIndex:
+    """Per-(core, counter) min/max trees for a whole trace, built lazily
+    on first use (the paper builds them at load time; lazy construction
+    gives the same complexity without penalizing unused counters)."""
+
+    def __init__(self, trace, arity=DEFAULT_ARITY):
+        self.trace = trace
+        self.arity = arity
+        self._trees = {}
+
+    def tree(self, core, counter_id):
+        key = (core, counter_id)
+        tree = self._trees.get(key)
+        if tree is None:
+            __, values = self.trace.counter_samples(core, counter_id)
+            tree = MinMaxTree(values, arity=self.arity)
+            self._trees[key] = tree
+        return tree
+
+    def query_time_range(self, core, counter_id, start, end):
+        """(min, max) of a counter on a core within the half-open time
+        interval [start, end), or ``None`` if it contains no samples."""
+        timestamps, __ = self.trace.counter_samples(core, counter_id)
+        lo = int(np.searchsorted(timestamps, start, side="left"))
+        hi = int(np.searchsorted(timestamps, end, side="left"))
+        if lo >= hi:
+            return None
+        return self.tree(core, counter_id).query(lo, hi)

@@ -1,0 +1,145 @@
+"""Schedule-quality analysis: critical paths, scheduling delays and
+per-type time profiles.
+
+These analyses quantify what the timeline shows visually:
+
+* :func:`critical_path_report` — the longest duration-weighted
+  dependence chain of the execution.  Its length is the theoretical
+  minimum makespan on infinitely many cores; the ratio of total work
+  to critical path bounds the achievable speedup (the quantitative
+  form of the paper's available-parallelism argument, Section III-A).
+* :func:`scheduling_delays` — per task, the gap between the moment it
+  *became ready* (all dependences resolved) and the moment it started
+  executing.  Large delays with idle cores elsewhere indicate load
+  balancing problems; large delays without idle cores indicate
+  saturation.
+* :func:`task_type_profile` — how the execution time decomposes over
+  task types (the typemap of Fig. 9, as numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .taskgraph import reconstruct_task_graph
+
+
+@dataclass
+class CriticalPathReport:
+    """Summary of the duration-weighted critical path."""
+
+    length_cycles: int
+    path: List[int]
+    total_work_cycles: int
+    makespan: int
+
+    @property
+    def max_speedup(self):
+        """Upper bound on speedup over serial execution (work / span)."""
+        if self.length_cycles == 0:
+            return 1.0
+        return self.total_work_cycles / self.length_cycles
+
+    @property
+    def schedule_efficiency(self):
+        """How close the makespan came to the critical-path bound."""
+        if self.makespan == 0:
+            return 1.0
+        return self.length_cycles / self.makespan
+
+    def describe(self):
+        return ("critical path: {} cycles over {} tasks; total work "
+                "{} cycles; max speedup {:.1f}x; makespan {} "
+                "({:.0%} of it is the critical path)".format(
+                    self.length_cycles, len(self.path),
+                    self.total_work_cycles, self.max_speedup,
+                    self.makespan, self.schedule_efficiency))
+
+
+def critical_path_report(trace, graph=None):
+    """Compute the duration-weighted critical path of an execution."""
+    graph = reconstruct_task_graph(trace) if graph is None else graph
+    columns = trace.tasks.columns
+    durations = {
+        int(columns["task_id"][index]):
+            int(columns["end"][index] - columns["start"][index])
+        for index in range(len(trace.tasks))
+    }
+    length, path = graph.critical_path(weights=durations)
+    return CriticalPathReport(
+        length_cycles=int(length), path=path,
+        total_work_cycles=int(sum(durations.values())),
+        makespan=int(trace.end - trace.begin))
+
+
+def scheduling_delays(trace, graph=None):
+    """Per-task delay between readiness and execution start.
+
+    Readiness is reconstructed from the dependence graph: a task is
+    ready when its last dependence completed (tasks without
+    dependences are treated as ready at the trace begin, which charges
+    them their creation wait — a deliberate upper bound).  Returns a
+    dict task id -> delay in cycles.
+    """
+    graph = reconstruct_task_graph(trace) if graph is None else graph
+    columns = trace.tasks.columns
+    start = {}
+    end = {}
+    for index in range(len(trace.tasks)):
+        task_id = int(columns["task_id"][index])
+        start[task_id] = int(columns["start"][index])
+        end[task_id] = int(columns["end"][index])
+    delays = {}
+    for task_id in graph.nodes:
+        predecessors = graph.predecessors[task_id]
+        ready = (max(end[dep] for dep in predecessors)
+                 if predecessors else trace.begin)
+        delays[task_id] = max(0, start[task_id] - ready)
+    return delays
+
+
+@dataclass
+class TypeProfileEntry:
+    """Aggregate execution statistics of one task type."""
+
+    type_name: str
+    tasks: int
+    total_cycles: int
+    mean_cycles: float
+    share_of_execution: float
+
+
+def task_type_profile(trace):
+    """Execution-time decomposition over task types (Fig. 9 as numbers).
+
+    Entries are sorted by total time, descending.
+    """
+    columns = trace.tasks.columns
+    durations = (columns["end"] - columns["start"]).astype(np.int64)
+    names = {info.type_id: info.name for info in trace.task_types}
+    total = int(durations.sum())
+    entries = []
+    for type_id in np.unique(columns["type_id"]):
+        mask = columns["type_id"] == type_id
+        cycles = int(durations[mask].sum())
+        entries.append(TypeProfileEntry(
+            type_name=names.get(int(type_id), str(int(type_id))),
+            tasks=int(mask.sum()),
+            total_cycles=cycles,
+            mean_cycles=float(durations[mask].mean()),
+            share_of_execution=cycles / total if total else 0.0))
+    entries.sort(key=lambda entry: -entry.total_cycles)
+    return entries
+
+
+def describe_profile(entries):
+    lines = ["{:24s} {:>8s} {:>14s} {:>12s} {:>7s}".format(
+        "type", "tasks", "total cycles", "mean", "share")]
+    for entry in entries:
+        lines.append("{:24s} {:8d} {:14d} {:12.0f} {:6.1%}".format(
+            entry.type_name, entry.tasks, entry.total_cycles,
+            entry.mean_cycles, entry.share_of_execution))
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Symbol tables: relating trace elements to source code (Section VI-C).
+
+Aftermath extracts debug symbols from the application binary with the
+``nm`` command-line tool; selecting a task in the timeline looks up the
+address of its work function and displays the function name, and
+clicking it opens the source file at the right line.
+
+The reproduction's "binary" is the simulated program, whose task types
+carry synthetic code addresses; :func:`symbols_from_trace` plays the
+role of running ``nm``.  Lookup follows ``nm`` semantics: an address
+resolves to the nearest symbol at or below it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """One entry of the symbol table."""
+
+    address: int
+    name: str
+    source_file: str = ""
+    source_line: int = 0
+
+
+class SymbolTable:
+    """Sorted symbol table with nearest-below address resolution."""
+
+    def __init__(self, symbols=()):
+        self._symbols: List[Symbol] = sorted(symbols,
+                                             key=lambda s: s.address)
+        self._addresses = [symbol.address for symbol in self._symbols]
+
+    def __len__(self):
+        return len(self._symbols)
+
+    def add(self, symbol):
+        position = bisect.bisect_left(self._addresses, symbol.address)
+        self._symbols.insert(position, symbol)
+        self._addresses.insert(position, symbol.address)
+
+    def resolve(self, address):
+        """The symbol covering ``address`` (nearest at or below), or
+        ``None`` when the address precedes every symbol."""
+        position = bisect.bisect_right(self._addresses, address) - 1
+        if position < 0:
+            return None
+        return self._symbols[position]
+
+    def by_name(self, name):
+        for symbol in self._symbols:
+            if symbol.name == name:
+                return symbol
+        return None
+
+    def editor_command(self, address, editor="editor"):
+        """The command Aftermath runs when the user clicks a function
+        name: open the source file at the function's line."""
+        symbol = self.resolve(address)
+        if symbol is None or not symbol.source_file:
+            return None
+        return "{} +{} {}".format(editor, symbol.source_line,
+                                  symbol.source_file)
+
+
+def symbols_from_trace(trace):
+    """Build the symbol table from the trace's task-type descriptions
+    (the reproduction's equivalent of running ``nm`` on the binary)."""
+    return SymbolTable(Symbol(address=info.address, name=info.name,
+                              source_file=info.source_file,
+                              source_line=info.source_line)
+                       for info in trace.task_types)
+
+
+def resolve_task(trace, table, task_id):
+    """Name of the work function of a task execution — what the detailed
+    text view shows for a selected task."""
+    execution = trace.task_by_id(task_id)
+    info = trace.task_types[execution.type_id]
+    symbol = table.resolve(info.address)
+    return symbol.name if symbol is not None else "?"

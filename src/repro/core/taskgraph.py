@@ -1,0 +1,297 @@
+"""Task-graph reconstruction and parallelism analysis (Section III-A).
+
+Aftermath reconstructs the application's task graph from the memory
+accesses recorded in the trace: a task that reads bytes previously
+written by another task depends on it.  The reconstructed DAG supports
+the paper's parallelism metric — the number of tasks at a given depth
+is an upper bound on the parallelism available at that step of the
+computation (Fig. 5) — and can be exported to the DOT format for
+visualization with Graphviz (Fig. 4/6).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+
+class TaskGraph:
+    """A directed acyclic dependence graph over task ids."""
+
+    def __init__(self):
+        self.successors: Dict[int, List[int]] = defaultdict(list)
+        self.predecessors: Dict[int, List[int]] = defaultdict(list)
+        self.nodes: Set[int] = set()
+        self._depths: Optional[Dict[int, int]] = None
+
+    def add_node(self, task_id):
+        self.nodes.add(task_id)
+
+    def add_edge(self, src, dst):
+        """Dependence edge: ``dst`` consumes data produced by ``src``."""
+        self.nodes.add(src)
+        self.nodes.add(dst)
+        self.successors[src].append(dst)
+        self.predecessors[dst].append(src)
+        self._depths = None
+
+    @property
+    def num_edges(self):
+        return sum(len(out) for out in self.successors.values())
+
+    def roots(self):
+        """Tasks without any input dependence (ready upon creation)."""
+        return sorted(node for node in self.nodes
+                      if not self.predecessors[node])
+
+    def depths(self):
+        """Depth of every task: the number of edges on the longest path
+        from a dependence-free task (paper's definition, Section III-A).
+
+        Computed by a topological sweep; raises ``ValueError`` on cycles
+        (a trace of a real execution can never contain one).
+        """
+        if self._depths is not None:
+            return self._depths
+        in_degree = {node: len(self.predecessors[node])
+                     for node in self.nodes}
+        depth = {node: 0 for node in self.nodes}
+        ready = deque(node for node, degree in in_degree.items()
+                      if degree == 0)
+        visited = 0
+        while ready:
+            node = ready.popleft()
+            visited += 1
+            for successor in self.successors[node]:
+                depth[successor] = max(depth[successor], depth[node] + 1)
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    ready.append(successor)
+        if visited != len(self.nodes):
+            raise ValueError("dependence graph contains a cycle")
+        self._depths = depth
+        return depth
+
+    def depth_of(self, task_id):
+        return self.depths()[task_id]
+
+    def max_depth(self):
+        depths = self.depths()
+        return max(depths.values()) if depths else 0
+
+    def parallelism_profile(self):
+        """Available parallelism as a function of depth (Fig. 5).
+
+        Returns ``(depths, counts)`` arrays: ``counts[i]`` tasks sit at
+        depth ``depths[i]`` — an upper bound on the tasks simultaneously
+        ready at that step of the computation.
+        """
+        depths = self.depths()
+        if not depths:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        values = np.asarray(sorted(depths.values()), dtype=np.int64)
+        unique, counts = np.unique(values, return_counts=True)
+        return unique, counts
+
+    def critical_path_length(self):
+        """Edges on the longest dependence chain."""
+        return self.max_depth()
+
+    def critical_path(self, weights=None):
+        """The longest weighted dependence chain.
+
+        ``weights`` maps task id -> cost (defaults to 1 per task, i.e.
+        the depth chain).  Returns ``(total_weight, [task ids])`` from a
+        root to a sink.  With measured durations as weights this is the
+        execution's inherent lower bound: no scheduler can beat the
+        critical path, which quantifies the paper's "insufficient
+        parallelism due to dependences" bottleneck.
+        """
+        if not self.nodes:
+            return 0, []
+        if weights is None:
+            weights = {node: 1 for node in self.nodes}
+        in_degree = {node: len(self.predecessors[node])
+                     for node in self.nodes}
+        best = {node: weights.get(node, 0) for node in self.nodes}
+        parent: Dict[int, Optional[int]] = {node: None
+                                            for node in self.nodes}
+        ready = deque(node for node, degree in in_degree.items()
+                      if degree == 0)
+        visited = 0
+        while ready:
+            node = ready.popleft()
+            visited += 1
+            for successor in self.successors[node]:
+                candidate = best[node] + weights.get(successor, 0)
+                if candidate > best[successor]:
+                    best[successor] = candidate
+                    parent[successor] = node
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    ready.append(successor)
+        if visited != len(self.nodes):
+            raise ValueError("dependence graph contains a cycle")
+        sink = max(best, key=lambda node: best[node])
+        path = [sink]
+        while parent[path[-1]] is not None:
+            path.append(parent[path[-1]])
+        path.reverse()
+        return best[sink], path
+
+    def ancestors(self, task_id, limit=None):
+        """All transitive predecessors of a task (optionally bounded)."""
+        seen = set()
+        frontier = deque(self.predecessors[task_id])
+        while frontier:
+            node = frontier.popleft()
+            if node in seen:
+                continue
+            seen.add(node)
+            if limit is not None and len(seen) >= limit:
+                break
+            frontier.extend(self.predecessors[node])
+        return seen
+
+    def neighborhood(self, task_id, hops=1):
+        """Tasks within ``hops`` dependence edges (both directions) —
+        used to export a focused subset of the graph."""
+        seen = {task_id}
+        frontier = {task_id}
+        for __ in range(hops):
+            next_frontier = set()
+            for node in frontier:
+                next_frontier.update(self.successors[node])
+                next_frontier.update(self.predecessors[node])
+            next_frontier -= seen
+            seen.update(next_frontier)
+            frontier = next_frontier
+        return seen
+
+
+def reconstruct_task_graph(trace):
+    """Rebuild the task graph from the trace's memory accesses.
+
+    For every read access the graph gains an edge from each *visible
+    last writer* — the most recent earlier write(s), in execution start
+    order, that produced the bytes being read.  This is the exact
+    derivation the run-time used, so the reconstruction matches the
+    executed dependence graph (validated in the test suite).
+    """
+    graph = TaskGraph()
+    accesses = trace.accesses
+    count = len(accesses["task_id"])
+    for position in range(len(trace.tasks)):
+        graph.add_node(int(trace.tasks.columns["task_id"][position]))
+    if count == 0:
+        return graph
+    # Order accesses by the executing task's start time, writes of a
+    # task before reads of later tasks.
+    task_ids = accesses["task_id"]
+    all_ids = trace.tasks.columns["task_id"]
+    all_starts = trace.tasks.columns["start"]
+    id_order = np.argsort(all_ids)
+    starts = all_starts[id_order][np.searchsorted(
+        all_ids[id_order], task_ids)]
+    order = np.lexsort((accesses["is_write"] * -1, starts))
+    writes_by_page: Dict[int, List[Tuple[int, int, int, int]]] = \
+        defaultdict(list)
+    edges = set()
+    for index in order:
+        task = int(task_ids[index])
+        address = int(accesses["address"][index])
+        size = int(accesses["size"][index])
+        begin, end = address, address + size
+        if accesses["is_write"][index]:
+            for page in range(begin // 4096, (end - 1) // 4096 + 1):
+                writes_by_page[page].append((task, begin, end,
+                                             int(starts[index])))
+        else:
+            uncovered = [(begin, end)]
+            start_time = int(starts[index])
+            for page in range(begin // 4096, (end - 1) // 4096 + 1):
+                for writer, wbegin, wend, wstart in reversed(
+                        writes_by_page.get(page, ())):
+                    if not uncovered:
+                        break
+                    if wstart > start_time or writer == task:
+                        continue
+                    remaining = []
+                    hit = False
+                    for lo, hi in uncovered:
+                        if wbegin < hi and lo < wend:
+                            hit = True
+                            if lo < wbegin:
+                                remaining.append((lo, wbegin))
+                            if wend < hi:
+                                remaining.append((wend, hi))
+                        else:
+                            remaining.append((lo, hi))
+                    if hit and (writer, task) not in edges:
+                        edges.add((writer, task))
+                        graph.add_edge(writer, task)
+                    uncovered = remaining
+    return graph
+
+
+def graph_from_program(program):
+    """Ground-truth graph straight from a finalized :class:`Program`."""
+    graph = TaskGraph()
+    for task in program.tasks:
+        graph.add_node(task.task_id)
+        for dependency in task.dependencies:
+            graph.add_edge(dependency.task_id, task.task_id)
+    return graph
+
+
+def to_networkx(graph):
+    """Convert to a :mod:`networkx` DiGraph for external analyses."""
+    import networkx as nx
+
+    result = nx.DiGraph()
+    result.add_nodes_from(graph.nodes)
+    for src, targets in graph.successors.items():
+        for dst in targets:
+            result.add_edge(src, dst)
+    return result
+
+
+_DOT_COLORS = ("lightblue", "lightgreen", "lightyellow", "lightpink",
+               "lightgray", "orange", "cyan", "violet")
+
+
+def export_dot(graph, path=None, task_ids=None, trace=None):
+    """Export (a subset of) the task graph in DOT format (Section III-A).
+
+    ``task_ids`` restricts the export; ``trace`` adds task-type names
+    and colors.  Returns the DOT text; writes it to ``path`` if given.
+    """
+    selected = set(graph.nodes if task_ids is None else task_ids)
+    lines = ["digraph taskgraph {", "  rankdir=TB;",
+             "  node [style=filled];"]
+    for node in sorted(selected):
+        label = "t{}".format(node)
+        color = "white"
+        if trace is not None:
+            try:
+                execution = trace.task_by_id(node)
+            except KeyError:
+                execution = None
+            if execution is not None:
+                type_info = trace.task_types[execution.type_id]
+                label = "{}\\n{}".format(type_info.name, node)
+                color = _DOT_COLORS[execution.type_id % len(_DOT_COLORS)]
+        lines.append('  "{}" [label="{}", fillcolor="{}"];'.format(
+            node, label, color))
+    for src in sorted(selected):
+        for dst in graph.successors.get(src, ()):
+            if dst in selected:
+                lines.append('  "{}" -> "{}";'.format(src, dst))
+    lines.append("}")
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        with open(path, "w") as handle:
+            handle.write(text)
+    return text

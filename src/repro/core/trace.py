@@ -1,0 +1,391 @@
+"""In-memory trace representation.
+
+Aftermath keeps simple, efficient data structures for traces
+(Section VI-B-c): *one array per core and per type of event, sorted by
+timestamp*, so that the events of any time interval can be found with a
+binary search.  This module provides:
+
+* :class:`TraceBuilder` — an append-only, columnar accumulator used both
+  by the run-time tracer and by the trace-file reader.  Columns are
+  ``array.array`` buffers, so building million-event traces does not
+  allocate millions of Python objects.
+* :class:`Trace` — the immutable, numpy-backed, per-core-sorted trace
+  that every analysis and rendering component operates on.
+
+Records may be appended in any order; the builder sorts per core at
+:meth:`TraceBuilder.build` time.  (Trace *files* additionally guarantee
+per-core timestamp order, which makes this sort cheap — Section VI-A.)
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .events import (CounterDescription, DiscreteEvent, RegionInfo,
+                     StateInterval, TaskExecution, TaskTypeInfo,
+                     TopologyInfo)
+
+
+class _Columns:
+    """A set of parallel ``array.array('q')`` columns."""
+
+    def __init__(self, names):
+        self.names = tuple(names)
+        self.columns = {name: array("q") for name in self.names}
+
+    def append(self, *values):
+        for name, value in zip(self.names, values):
+            self.columns[name].append(int(value))
+
+    def __len__(self):
+        return len(self.columns[self.names[0]])
+
+    def to_numpy(self):
+        return {name: np.asarray(self.columns[name], dtype=np.int64)
+                for name in self.names}
+
+
+class TraceBuilder:
+    """Accumulates trace records and assembles a :class:`Trace`."""
+
+    def __init__(self, topology):
+        self.topology = topology
+        self._states = _Columns(("core", "state", "start", "end"))
+        self._tasks = _Columns(("task_id", "type_id", "core", "start",
+                                "end"))
+        self._discrete = _Columns(("core", "kind", "timestamp", "payload"))
+        self._comm = _Columns(("src_core", "dst_core", "timestamp", "size",
+                               "task_id"))
+        self._accesses = _Columns(("task_id", "core", "address", "size",
+                                   "is_write", "timestamp"))
+        self._counter_times: Dict[Tuple[int, int], array] = {}
+        self._counter_values: Dict[Tuple[int, int], array] = {}
+        self.counter_descriptions: List[CounterDescription] = []
+        self.task_types: List[TaskTypeInfo] = []
+        self.regions: List[RegionInfo] = []
+
+    # -- static records ---------------------------------------------------
+    def describe_counter(self, name, monotone=True):
+        """Register a counter; returns its id."""
+        counter_id = len(self.counter_descriptions)
+        self.counter_descriptions.append(
+            CounterDescription(counter_id=counter_id, name=name,
+                               monotone=monotone))
+        return counter_id
+
+    def describe_task_type(self, info):
+        self.task_types.append(info)
+
+    def describe_region(self, info):
+        self.regions.append(info)
+
+    # -- event records ----------------------------------------------------
+    def state_interval(self, core, state, start, end):
+        if end > start:
+            self._states.append(core, state, start, end)
+
+    def task_execution(self, task_id, type_id, core, start, end):
+        self._tasks.append(task_id, type_id, core, start, end)
+
+    def discrete_event(self, core, kind, timestamp, payload=0):
+        self._discrete.append(core, kind, timestamp, payload)
+
+    def comm_event(self, src_core, dst_core, timestamp, size=0, task_id=-1):
+        self._comm.append(src_core, dst_core, timestamp, size, task_id)
+
+    def memory_access(self, task_id, core, address, size, is_write,
+                      timestamp):
+        self._accesses.append(task_id, core, address, size,
+                              1 if is_write else 0, timestamp)
+
+    def counter_sample(self, core, counter_id, timestamp, value):
+        key = (core, counter_id)
+        times = self._counter_times.get(key)
+        if times is None:
+            times = self._counter_times[key] = array("q")
+            self._counter_values[key] = array("d")
+        times.append(int(timestamp))
+        self._counter_values[key].append(float(value))
+
+    def build(self):
+        counter_series = {}
+        for key, times in self._counter_times.items():
+            timestamps = np.asarray(times, dtype=np.int64)
+            values = np.asarray(self._counter_values[key], dtype=np.float64)
+            order = np.argsort(timestamps, kind="stable")
+            counter_series[key] = (timestamps[order], values[order])
+        return Trace(topology=self.topology,
+                     states=self._states.to_numpy(),
+                     tasks=self._tasks.to_numpy(),
+                     discrete=self._discrete.to_numpy(),
+                     comm=self._comm.to_numpy(),
+                     accesses=self._accesses.to_numpy(),
+                     counter_series=counter_series,
+                     counter_descriptions=list(self.counter_descriptions),
+                     task_types=list(self.task_types),
+                     regions=list(self.regions))
+
+
+class PerCoreEvents:
+    """Per-core views of a sorted columnar event table."""
+
+    def __init__(self, columns, core_column, sort_key, num_cores):
+        order = np.lexsort((columns[sort_key], columns[core_column]))
+        self.columns = {name: values[order]
+                        for name, values in columns.items()}
+        cores = self.columns[core_column]
+        # offsets[c]:offsets[c+1] is the slice of events of core c.
+        self.offsets = np.searchsorted(cores, np.arange(num_cores + 1))
+        self._sort_key = sort_key
+
+    def __len__(self):
+        return len(self.columns[self._sort_key])
+
+    def core_slice(self, core):
+        return slice(int(self.offsets[core]), int(self.offsets[core + 1]))
+
+    def core_column(self, core, name):
+        return self.columns[name][self.core_slice(core)]
+
+
+class Trace:
+    """An immutable, indexed trace ready for analysis and rendering."""
+
+    def __init__(self, topology, states, tasks, discrete, comm, accesses,
+                 counter_series, counter_descriptions, task_types, regions):
+        self.topology = topology
+        num_cores = topology.num_cores
+        self.states = PerCoreEvents(states, "core", "start", num_cores)
+        self.tasks = PerCoreEvents(tasks, "core", "start", num_cores)
+        self.discrete = PerCoreEvents(discrete, "core", "timestamp",
+                                      num_cores)
+        order = np.argsort(comm["timestamp"], kind="stable")
+        self.comm = {name: values[order] for name, values in comm.items()}
+        order = np.argsort(accesses["task_id"], kind="stable")
+        self.accesses = {name: values[order]
+                         for name, values in accesses.items()}
+        self.counter_series = counter_series
+        self.counter_descriptions = list(counter_descriptions)
+        self.task_types = list(task_types)
+        self.regions = sorted(regions, key=lambda region: region.address)
+        self._region_starts = np.asarray(
+            [region.address for region in self.regions], dtype=np.int64)
+        self._task_index = self._build_task_index()
+        self.begin, self.end = self._time_bounds()
+
+    # -- global properties --------------------------------------------
+    @property
+    def num_cores(self):
+        return self.topology.num_cores
+
+    @property
+    def duration(self):
+        return self.end - self.begin
+
+    def _time_bounds(self):
+        begin, end = [], []
+        if len(self.states):
+            begin.append(int(self.states.columns["start"].min()))
+            end.append(int(self.states.columns["end"].max()))
+        if len(self.tasks):
+            begin.append(int(self.tasks.columns["start"].min()))
+            end.append(int(self.tasks.columns["end"].max()))
+        for timestamps, __ in self.counter_series.values():
+            if len(timestamps):
+                begin.append(int(timestamps[0]))
+                end.append(int(timestamps[-1]))
+        if not begin:
+            return 0, 0
+        return min(begin), max(end)
+
+    # -- counters -------------------------------------------------------
+    def counter_id(self, name):
+        for description in self.counter_descriptions:
+            if description.name == name:
+                return description.counter_id
+        raise KeyError("no counter named {!r}".format(name))
+
+    def counter_name(self, counter_id):
+        return self.counter_descriptions[counter_id].name
+
+    def counter_samples(self, core, counter_id):
+        """(timestamps, values) arrays for one counter on one core."""
+        empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+        return self.counter_series.get((core, counter_id), empty)
+
+    # -- task executions --------------------------------------------------
+    def _build_task_index(self):
+        ids = self.tasks.columns["task_id"]
+        index = {}
+        for position, task_id in enumerate(ids):
+            index[int(task_id)] = position
+        return index
+
+    def task_by_id(self, task_id):
+        """The :class:`TaskExecution` for a task id (raises ``KeyError``)."""
+        position = self._task_index[task_id]
+        columns = self.tasks.columns
+        return TaskExecution(task_id=int(columns["task_id"][position]),
+                             type_id=int(columns["type_id"][position]),
+                             core=int(columns["core"][position]),
+                             start=int(columns["start"][position]),
+                             end=int(columns["end"][position]))
+
+    def task_executions(self):
+        """Iterate all task executions (analysis convenience)."""
+        columns = self.tasks.columns
+        for position in range(len(self.tasks)):
+            yield TaskExecution(task_id=int(columns["task_id"][position]),
+                                type_id=int(columns["type_id"][position]),
+                                core=int(columns["core"][position]),
+                                start=int(columns["start"][position]),
+                                end=int(columns["end"][position]))
+
+    def state_intervals(self):
+        columns = self.states.columns
+        for position in range(len(self.states)):
+            yield StateInterval(core=int(columns["core"][position]),
+                                state=int(columns["state"][position]),
+                                start=int(columns["start"][position]),
+                                end=int(columns["end"][position]))
+
+    def discrete_events(self):
+        columns = self.discrete.columns
+        for position in range(len(self.discrete)):
+            yield DiscreteEvent(core=int(columns["core"][position]),
+                                kind=int(columns["kind"][position]),
+                                timestamp=int(
+                                    columns["timestamp"][position]),
+                                payload=int(columns["payload"][position]))
+
+    # -- task accesses ----------------------------------------------------
+    def task_accesses(self, task_id):
+        """Column slices of the memory accesses of one task."""
+        ids = self.accesses["task_id"]
+        lo = int(np.searchsorted(ids, task_id, side="left"))
+        hi = int(np.searchsorted(ids, task_id, side="right"))
+        return {name: values[lo:hi]
+                for name, values in self.accesses.items()}
+
+    # -- memory regions -----------------------------------------------
+    def region_of(self, address):
+        """The :class:`RegionInfo` containing ``address`` or ``None``."""
+        if not self.regions:
+            return None
+        position = int(np.searchsorted(self._region_starts, address,
+                                       side="right")) - 1
+        if position < 0:
+            return None
+        region = self.regions[position]
+        if region.address <= address < region.end:
+            return region
+        return None
+
+    def node_of_address(self, address):
+        """NUMA node holding ``address`` (via the region placement table),
+        or ``None`` for addresses outside any known region."""
+        region = self.region_of(address)
+        if region is None:
+            return None
+        page = (address - region.address) // 4096
+        node = region.page_nodes[page]
+        return None if node < 0 else node
+
+    def nodes_of_addresses(self, addresses):
+        """Vectorized :meth:`node_of_address`: NUMA node per address.
+
+        Returns an int array; addresses outside any region (or on pages
+        that were never physically allocated) map to -1.  The flattened
+        page-placement index is built on first use and cached — the
+        trace file stores placement once per region (Section VI-A) and
+        the lookup structure is part of the in-memory representation.
+        """
+        if not hasattr(self, "_page_index"):
+            page_offsets = [0]
+            pages = []
+            for region in self.regions:
+                pages.extend(region.page_nodes)
+                page_offsets.append(len(pages))
+            self._page_nodes_flat = np.asarray(pages, dtype=np.int64)
+            self._page_offsets = np.asarray(page_offsets, dtype=np.int64)
+            self._region_ends = np.asarray(
+                [region.end for region in self.regions], dtype=np.int64)
+            self._page_index = True
+        addresses = np.asarray(addresses, dtype=np.int64)
+        result = np.full(len(addresses), -1, dtype=np.int64)
+        if not self.regions or len(addresses) == 0:
+            return result
+        position = np.searchsorted(self._region_starts, addresses,
+                                   side="right") - 1
+        valid = position >= 0
+        clipped = np.clip(position, 0, None)
+        valid &= addresses < self._region_ends[clipped]
+        if not valid.any():
+            return result
+        region_index = clipped[valid]
+        page = (addresses[valid]
+                - self._region_starts[region_index]) // 4096
+        result[valid] = self._page_nodes_flat[
+            self._page_offsets[region_index] + page]
+        return result
+
+    def __repr__(self):
+        return ("Trace(cores={}, states={}, tasks={}, accesses={}, "
+                "counters={})".format(
+                    self.num_cores, len(self.states), len(self.tasks),
+                    len(self.accesses["task_id"]),
+                    len(self.counter_descriptions)))
+
+
+def merge_counter_series(main, aux, counters=None):
+    """Merge counter series of a second trace into a new trace.
+
+    The paper collects ``getrusage`` statistics in a *separate* trace
+    because concurrent calls to the function perturb the run
+    (Section III-B); the analysis then needs the auxiliary counters
+    joined with the main trace.  This returns a new :class:`Trace`
+    carrying ``main``'s events plus the selected ``counters`` (names;
+    default: all) from ``aux``, re-numbered to avoid id collisions.
+    Name clashes get an ``aux:`` prefix.
+
+    Both traces must describe the same machine.
+    """
+    if (aux.topology.num_nodes != main.topology.num_nodes
+            or aux.topology.cores_per_node
+            != main.topology.cores_per_node):
+        raise ValueError("traces describe different machines")
+    wanted = ({description.name
+               for description in aux.counter_descriptions}
+              if counters is None else set(counters))
+    existing = {description.name
+                for description in main.counter_descriptions}
+    descriptions = list(main.counter_descriptions)
+    series = dict(main.counter_series)
+    id_map = {}
+    for description in aux.counter_descriptions:
+        if description.name not in wanted:
+            continue
+        name = description.name
+        if name in existing:
+            name = "aux:" + name
+        new_id = len(descriptions)
+        id_map[description.counter_id] = new_id
+        descriptions.append(CounterDescription(
+            counter_id=new_id, name=name,
+            monotone=description.monotone))
+    for (core, counter_id), data in aux.counter_series.items():
+        if counter_id in id_map:
+            series[(core, id_map[counter_id])] = data
+    return Trace(topology=main.topology,
+                 states=dict(main.states.columns),
+                 tasks=dict(main.tasks.columns),
+                 discrete=dict(main.discrete.columns),
+                 comm=dict(main.comm),
+                 accesses=dict(main.accesses),
+                 counter_series=series,
+                 counter_descriptions=descriptions,
+                 task_types=list(main.task_types),
+                 regions=list(main.regions))

@@ -1,0 +1,166 @@
+"""Performance-counter overlays on the timeline (Section VI-B, Fig. 21).
+
+A counter is rendered on top of the timeline as a curve.  The naive
+approach draws one line per pair of adjacent samples; when many samples
+fall within a single horizontal pixel that wastes drawing operations.
+Aftermath instead determines, per pixel column, the minimum and maximum
+counter values (``vmin``/``vmax``), maps them to pixels and draws one
+vertical line — with the n-ary min/max search tree of Section VI-B-c
+avoiding a scan of every sample in the column.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.interval_tree import CounterIndex
+from ..core.metrics import discrete_derivative
+
+
+def value_bounds(trace, counter_id, cores=None):
+    """Global (min, max) of a counter across cores, for axis scaling."""
+    cores = range(trace.num_cores) if cores is None else cores
+    minimum, maximum = np.inf, -np.inf
+    for core in cores:
+        __, values = trace.counter_samples(core, counter_id)
+        if len(values):
+            minimum = min(minimum, float(values.min()))
+            maximum = max(maximum, float(values.max()))
+    if not np.isfinite(minimum):
+        return 0.0, 1.0
+    if maximum <= minimum:
+        maximum = minimum + 1.0
+    return minimum, maximum
+
+
+def _value_to_y(value, bounds, top, height):
+    lo, hi = bounds
+    fraction = (value - lo) / (hi - lo)
+    fraction = min(max(fraction, 0.0), 1.0)
+    return int(top + (height - 1) * (1.0 - fraction))
+
+
+def render_counter(trace, counter, view, framebuffer, core=0,
+                   color=(255, 60, 60), top=None, height=None,
+                   bounds=None, counter_index=None, optimized=True):
+    """Render one core's counter curve into the framebuffer.
+
+    With ``optimized=True`` each pixel column draws exactly one
+    vertical line spanning [pmin, pmax] (Fig. 21b); the min/max query
+    uses ``counter_index`` (a :class:`CounterIndex`) when provided.
+    With ``optimized=False`` every adjacent sample pair becomes a line
+    (Fig. 21a) — the baseline the rendering benchmark compares against.
+    Returns the number of drawing operations issued.
+    """
+    counter_id = (trace.counter_id(counter) if isinstance(counter, str)
+                  else counter)
+    top = 0 if top is None else top
+    height = framebuffer.height if height is None else height
+    bounds = value_bounds(trace, counter_id, cores=(core,)) \
+        if bounds is None else bounds
+    timestamps, values = trace.counter_samples(core, counter_id)
+    before = framebuffer.draw_calls
+    if len(timestamps) == 0:
+        return 0
+    if not optimized:
+        for index in range(len(timestamps) - 1):
+            x0 = view.time_to_pixel(int(timestamps[index]))
+            x1 = view.time_to_pixel(int(timestamps[index + 1]))
+            if x1 < 0 or x0 >= view.width:
+                continue
+            y0 = _value_to_y(values[index], bounds, top, height)
+            y1 = _value_to_y(values[index + 1], bounds, top, height)
+            framebuffer.draw_line(max(x0, 0), y0,
+                                  min(x1, view.width - 1), y1, color)
+        return framebuffer.draw_calls - before
+    for x in range(view.width):
+        t0, t1 = view.pixel_interval(x)
+        if counter_index is not None:
+            extremes = counter_index.query_time_range(core, counter_id,
+                                                      t0, t1)
+        else:
+            lo = int(np.searchsorted(timestamps, t0, side="left"))
+            hi = int(np.searchsorted(timestamps, t1, side="left"))
+            extremes = ((float(values[lo:hi].min()),
+                         float(values[lo:hi].max()))
+                        if hi > lo else None)
+        if extremes is None:
+            # No sample in this column: interpolate at the pixel center.
+            center = (t0 + t1) // 2
+            if center < timestamps[0] or center > timestamps[-1]:
+                continue
+            value = float(np.interp(center, timestamps, values))
+            extremes = (value, value)
+        y_max = _value_to_y(extremes[0], bounds, top, height)
+        y_min = _value_to_y(extremes[1], bounds, top, height)
+        framebuffer.vertical_line(x, y_min, y_max, color)
+    return framebuffer.draw_calls - before
+
+
+def render_derived_series(series, view, framebuffer, color=(90, 220, 90),
+                          top=None, height=None):
+    """Render a materialized :class:`DerivedSeries` over the timeline.
+
+    Derived metrics are global (not per core), so the curve spans the
+    full overlay height by default; drawing uses the same one-vertical-
+    line-per-pixel scheme as hardware counters.
+    """
+    timestamps, values = series.sample_points()
+    top = 0 if top is None else top
+    height = framebuffer.height if height is None else height
+    if len(timestamps) == 0:
+        return 0
+    lo = float(np.min(values))
+    hi = float(np.max(values))
+    bounds = (lo, hi if hi > lo else lo + 1.0)
+    before = framebuffer.draw_calls
+    for x in range(view.width):
+        t0, t1 = view.pixel_interval(x)
+        first = int(np.searchsorted(timestamps, t0, side="left"))
+        last = int(np.searchsorted(timestamps, t1, side="left"))
+        if first < last:
+            window = values[first:last]
+            extremes = (float(window.min()), float(window.max()))
+        else:
+            center = (t0 + t1) // 2
+            if center < timestamps[0] or center > timestamps[-1]:
+                continue
+            value = float(np.interp(center, timestamps, values))
+            extremes = (value, value)
+        y_max = _value_to_y(extremes[0], bounds, top, height)
+        y_min = _value_to_y(extremes[1], bounds, top, height)
+        framebuffer.vertical_line(x, y_min, y_max, color)
+    return framebuffer.draw_calls - before
+
+
+def render_counter_rate(trace, counter, view, framebuffer, core=0,
+                        color=(255, 160, 40), top=None, height=None):
+    """Render the discrete derivative of a counter on one core — the
+    per-task constant-rate look of Fig. 18 (counters are sampled at task
+    boundaries, so the rate is constant across each task)."""
+    counter_id = (trace.counter_id(counter) if isinstance(counter, str)
+                  else counter)
+    timestamps, values = trace.counter_samples(core, counter_id)
+    top = 0 if top is None else top
+    height = framebuffer.height if height is None else height
+    if len(timestamps) < 2:
+        return 0
+    rates = discrete_derivative(timestamps, values)
+    bounds = (float(rates.min()), float(max(rates.max(),
+                                            rates.min() + 1e-12)))
+    before = framebuffer.draw_calls
+    previous_y = None
+    for index in range(len(rates)):
+        x0 = view.time_to_pixel(int(timestamps[index]))
+        x1 = view.time_to_pixel(int(timestamps[index + 1]))
+        if x1 < 0 or x0 >= view.width:
+            continue
+        y = _value_to_y(rates[index], bounds, top, height)
+        for x in range(max(x0, 0), min(x1 + 1, view.width)):
+            framebuffer.put_pixel(x, y, color)
+        if previous_y is not None and x0 >= 0:
+            framebuffer.vertical_line(max(x0, 0), previous_y, y, color)
+        previous_y = y
+    return framebuffer.draw_calls - before

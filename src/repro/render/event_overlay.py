@@ -1,0 +1,81 @@
+"""Discrete-event overlays on the timeline (Section II-A.1).
+
+The timeline "can be overlaid with supplemental information on ...
+specific discrete events (e.g., task creation, communication between
+workers)".  This renderer draws one marker per visible discrete event
+in each core's lane, aggregating events that fall on the same pixel
+column into a single marker (the every-pixel-drawn-once rule applies
+to overlays too).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.events import DiscreteEventKind
+from ..core.index import discrete_in_interval
+
+#: Default marker colors per event kind.
+EVENT_COLORS = {
+    int(DiscreteEventKind.TASK_CREATED): (255, 255, 255),
+    int(DiscreteEventKind.TASK_STOLEN): (255, 80, 80),
+    int(DiscreteEventKind.REGION_ALLOCATED): (80, 255, 80),
+    int(DiscreteEventKind.ANNOTATION): (255, 255, 0),
+}
+
+
+def render_discrete_events(trace, view, framebuffer, kind=None,
+                           marker_height=3):
+    """Draw markers for discrete events on every core lane.
+
+    ``kind`` restricts to one :class:`DiscreteEventKind`.  Returns the
+    number of markers drawn (aggregated per pixel column and lane).
+    """
+    lane_height, lane_tops = view.lane_geometry(trace.num_cores)
+    height = min(marker_height, lane_height)
+    markers = 0
+    for core in range(trace.num_cores):
+        columns = discrete_in_interval(trace, core, view.start, view.end,
+                                       kind=kind)
+        timestamps = columns["timestamp"]
+        kinds = columns["kind"]
+        if len(timestamps) == 0:
+            continue
+        pixels = ((timestamps - view.start) * view.width
+                  // view.duration)
+        seen = None
+        for index in range(len(pixels)):
+            x = int(pixels[index])
+            if x == seen or x < 0 or x >= view.width:
+                continue
+            seen = x
+            color = EVENT_COLORS.get(int(kinds[index]),
+                                     (200, 200, 200))
+            framebuffer.vertical_line(x, lane_tops[core],
+                                      lane_tops[core] + height - 1,
+                                      color)
+            markers += 1
+    return markers
+
+
+def render_annotations(store, view, framebuffer, trace,
+                       color=(255, 255, 0)):
+    """Draw user annotations as full-height markers at their timestamp
+    (core-anchored annotations mark only that core's lane)."""
+    lane_height, lane_tops = view.lane_geometry(trace.num_cores)
+    drawn = 0
+    for note in store.in_interval(view.start, view.end):
+        x = view.time_to_pixel(note.timestamp)
+        if not 0 <= x < view.width:
+            continue
+        if note.core is None:
+            framebuffer.vertical_line(x, 0, framebuffer.height - 1,
+                                      color)
+        else:
+            top = lane_tops[note.core]
+            framebuffer.vertical_line(x, top, top + lane_height - 1,
+                                      color)
+        drawn += 1
+    return drawn

@@ -1,0 +1,109 @@
+"""Software framebuffer: the render target of all timeline modes.
+
+The paper's GUI draws through Cairo; the reproduction renders into a
+numpy RGB buffer and exports portable pixmaps.  The framebuffer counts
+drawing operations (rectangles, lines, pixels touched), which is how the
+Section VI-B benchmarks quantify the rendering optimizations —
+predominant-pixel rendering and rectangle aggregation reduce *calls to
+rendering functions*, and that is exactly what we measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Framebuffer:
+    """A width x height RGB image with operation accounting."""
+
+    def __init__(self, width, height, background=(0, 0, 0)):
+        if width < 1 or height < 1:
+            raise ValueError("framebuffer must be at least 1x1")
+        self.width = width
+        self.height = height
+        self.pixels = np.empty((height, width, 3), dtype=np.uint8)
+        self.pixels[:, :] = background
+        self.rect_calls = 0
+        self.line_calls = 0
+        self.pixels_drawn = 0
+
+    def reset_counters(self):
+        self.rect_calls = 0
+        self.line_calls = 0
+        self.pixels_drawn = 0
+
+    @property
+    def draw_calls(self):
+        return self.rect_calls + self.line_calls
+
+    def fill_rect(self, x, y, width, height, color):
+        """Fill a rectangle, clipped to the framebuffer."""
+        x0 = max(0, int(x))
+        y0 = max(0, int(y))
+        x1 = min(self.width, int(x + width))
+        y1 = min(self.height, int(y + height))
+        if x1 <= x0 or y1 <= y0:
+            return
+        self.pixels[y0:y1, x0:x1] = color
+        self.rect_calls += 1
+        self.pixels_drawn += (x1 - x0) * (y1 - y0)
+
+    def vertical_line(self, x, y0, y1, color):
+        """Vertical line from ``y0`` to ``y1`` inclusive."""
+        if x < 0 or x >= self.width:
+            return
+        lo, hi = (y0, y1) if y0 <= y1 else (y1, y0)
+        lo = max(0, int(lo))
+        hi = min(self.height - 1, int(hi))
+        if hi < lo:
+            return
+        self.pixels[lo:hi + 1, int(x)] = color
+        self.line_calls += 1
+        self.pixels_drawn += hi - lo + 1
+
+    def draw_line(self, x0, y0, x1, y1, color):
+        """General line (Bresenham); used by the naive counter renderer."""
+        x0, y0, x1, y1 = int(x0), int(y0), int(x1), int(y1)
+        dx = abs(x1 - x0)
+        dy = -abs(y1 - y0)
+        step_x = 1 if x0 < x1 else -1
+        step_y = 1 if y0 < y1 else -1
+        error = dx + dy
+        x, y = x0, y0
+        drawn = 0
+        while True:
+            if 0 <= x < self.width and 0 <= y < self.height:
+                self.pixels[y, x] = color
+                drawn += 1
+            if x == x1 and y == y1:
+                break
+            doubled = 2 * error
+            if doubled >= dy:
+                error += dy
+                x += step_x
+            if doubled <= dx:
+                error += dx
+                y += step_y
+        self.line_calls += 1
+        self.pixels_drawn += drawn
+
+    def put_pixel(self, x, y, color):
+        if 0 <= x < self.width and 0 <= y < self.height:
+            self.pixels[int(y), int(x)] = color
+            self.pixels_drawn += 1
+
+    def save_ppm(self, path):
+        """Write a binary PPM (P6) image file."""
+        with open(path, "wb") as handle:
+            header = "P6\n{} {}\n255\n".format(self.width, self.height)
+            handle.write(header.encode("ascii"))
+            handle.write(self.pixels.tobytes())
+
+    def column(self, x):
+        """One pixel column (for tests)."""
+        return self.pixels[:, int(x)].copy()
+
+    def unique_colors(self):
+        """Set of distinct RGB triples present in the image."""
+        flat = self.pixels.reshape(-1, 3)
+        return set(map(tuple, np.unique(flat, axis=0)))

@@ -1,0 +1,403 @@
+"""The timeline component: view model, modes and optimized rendering.
+
+The timeline shows the activity of each processor over time (Fig. 1).
+Five main modes specialize it (Section II-B): worker *states*, the task
+duration *heatmap*, the *typemap*, the *NUMA* read/write maps and the
+*NUMA heatmap*.  Rendering follows Section VI-B:
+
+(a) every pixel is drawn only once: each horizontal pixel covers a time
+    sub-interval, and the color rendered is that of the *predominant*
+    item within it (Fig. 20);
+(b) adjacent pixels with identical colors are aggregated into a single
+    rectangle-fill call;
+(c) the per-core event slice for the visible window is obtained with a
+    binary search over the sorted per-core arrays.
+
+A ``optimized=False`` escape hatch renders naively (one rectangle per
+event) so the benchmarks can quantify the optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from ..core import numa as numa_analysis
+from ..core.index import interval_slice
+from . import colors as palettes
+from .framebuffer import Framebuffer
+
+
+@dataclass(frozen=True)
+class TimelineView:
+    """Zoom/scroll state: the visible time window and the pixel grid.
+
+    Views are immutable; :meth:`zoom` and :meth:`scroll` return new
+    views, which is what makes navigation history trivial.
+    """
+
+    start: int
+    end: int
+    width: int = 800
+    height: int = 256
+
+    def __post_init__(self):
+        if self.end <= self.start:
+            raise ValueError("view must span a non-empty time range")
+        if self.width < 1 or self.height < 1:
+            raise ValueError("view must span at least one pixel")
+
+    @classmethod
+    def fit(cls, trace, width=800, height=256):
+        """A view covering the whole trace."""
+        end = trace.end if trace.end > trace.begin else trace.begin + 1
+        return cls(start=trace.begin, end=end, width=width, height=height)
+
+    @property
+    def duration(self):
+        return self.end - self.start
+
+    @property
+    def cycles_per_pixel(self):
+        return self.duration / self.width
+
+    def pixel_interval(self, x):
+        """Time interval [t0, t1) covered by pixel column ``x``."""
+        t0 = self.start + self.duration * x // self.width
+        t1 = self.start + self.duration * (x + 1) // self.width
+        return int(t0), int(max(t1, t0 + 1))
+
+    def time_to_pixel(self, time):
+        return int((time - self.start) * self.width // self.duration)
+
+    def zoom(self, factor, center=None):
+        """Zoom by ``factor`` (> 1 zooms in) around ``center``."""
+        if factor <= 0:
+            raise ValueError("zoom factor must be positive")
+        center = (self.start + self.end) // 2 if center is None else center
+        span = max(1, int(self.duration / factor))
+        start = int(center - span // 2)
+        return replace(self, start=start, end=start + span)
+
+    def scroll(self, fraction):
+        """Scroll by a fraction of the visible span (negative = left)."""
+        delta = int(self.duration * fraction)
+        return replace(self, start=self.start + delta,
+                       end=self.end + delta)
+
+    def lane_geometry(self, num_cores):
+        """(lane_height, list of lane top offsets), one lane per core."""
+        lane = max(1, self.height // max(num_cores, 1))
+        return lane, [core * lane for core in range(num_cores)]
+
+
+class TimelineMode:
+    """A timeline specialization: supplies per-core colored intervals.
+
+    ``lane_events`` returns ``(starts, ends, keys)`` for one core, keys
+    being small integers fed to ``color_of``; continuous modes (the NUMA
+    heatmap) instead return float values fed to ``value_color``.
+    """
+
+    continuous = False
+
+    def prepare(self, trace):
+        """Hook: precompute per-trace tables before rendering."""
+
+    def lane_events(self, trace, core):
+        raise NotImplementedError
+
+    def color_of(self, key):
+        raise NotImplementedError
+
+    def value_color(self, value):
+        raise NotImplementedError
+
+
+class StateMode(TimelineMode):
+    """Default mode: the state of each worker over time (Fig. 2)."""
+
+    name = "state"
+
+    def lane_events(self, trace, core):
+        return (trace.states.core_column(core, "start"),
+                trace.states.core_column(core, "end"),
+                trace.states.core_column(core, "state"))
+
+    def color_of(self, key):
+        return palettes.state_color(key)
+
+
+class _TaskMode(TimelineMode):
+    """Common base of the modes that color task executions."""
+
+    def lane_events(self, trace, core):
+        starts = trace.tasks.core_column(core, "start")
+        ends = trace.tasks.core_column(core, "end")
+        keys = self.task_keys(trace, core)
+        return starts, ends, keys
+
+    def task_keys(self, trace, core):
+        raise NotImplementedError
+
+
+class HeatmapMode(_TaskMode):
+    """Task durations as shades of red, darker = longer (Fig. 7/17).
+
+    Durations are normalized either to a user-defined [minimum,
+    maximum] interval or, by default, to the shortest and longest task
+    in the trace (the paper normalizes to the currently displayed
+    range; pass explicit bounds for that behaviour).
+    """
+
+    name = "heatmap"
+
+    def __init__(self, shades=10, minimum=None, maximum=None,
+                 task_filter=None):
+        self.shades = palettes.heatmap_shades(shades)
+        self.minimum = minimum
+        self.maximum = maximum
+        self.task_filter = task_filter
+        self._mask = None
+
+    def prepare(self, trace):
+        columns = trace.tasks.columns
+        durations = columns["end"] - columns["start"]
+        if self.task_filter is not None:
+            self._mask = self.task_filter.mask(trace)
+            visible = durations[self._mask]
+        else:
+            visible = durations
+        if len(visible) == 0:
+            self._lo, self._hi = 0.0, 1.0
+        else:
+            self._lo = (float(visible.min()) if self.minimum is None
+                        else float(self.minimum))
+            self._hi = (float(visible.max()) if self.maximum is None
+                        else float(self.maximum))
+        if self._hi <= self._lo:
+            self._hi = self._lo + 1.0
+
+    def task_keys(self, trace, core):
+        starts = trace.tasks.core_column(core, "start")
+        ends = trace.tasks.core_column(core, "end")
+        fractions = (ends - starts - self._lo) / (self._hi - self._lo)
+        keys = np.clip((fractions * len(self.shades)).astype(np.int64),
+                       0, len(self.shades) - 1)
+        if self._mask is not None:
+            lane = trace.tasks.core_slice(core)
+            keys = np.where(self._mask[lane], keys, -1)
+        return keys
+
+    def color_of(self, key):
+        return self.shades[int(key)]
+
+
+class TypeMode(_TaskMode):
+    """One color per task type: which work function runs where (Fig. 9)."""
+
+    name = "typemap"
+
+    def prepare(self, trace):
+        self._palette = palettes.type_palette(max(len(trace.task_types), 1))
+
+    def task_keys(self, trace, core):
+        return trace.tasks.core_column(core, "type_id")
+
+    def color_of(self, key):
+        return self._palette[int(key) % len(self._palette)]
+
+
+class NumaMode(_TaskMode):
+    """NUMA node targeted by each task's reads or writes (Fig. 14a-d)."""
+
+    def __init__(self, kind="read"):
+        if kind not in ("read", "write"):
+            raise ValueError("kind must be 'read' or 'write'")
+        self.kind = kind
+        self.name = "numa_{}".format(kind)
+
+    def prepare(self, trace):
+        self._palette = palettes.numa_palette(trace.topology.num_nodes)
+        self._nodes = numa_analysis.task_predominant_nodes(trace,
+                                                           self.kind)
+
+    def task_keys(self, trace, core):
+        return self._nodes[trace.tasks.core_slice(core)]
+
+    def color_of(self, key):
+        return self._palette[int(key) % len(self._palette)]
+
+
+class NumaHeatmapMode(_TaskMode):
+    """Average fraction of remote accesses, blue to pink (Fig. 14e/f)."""
+
+    name = "numa_heatmap"
+    continuous = True
+
+    def prepare(self, trace):
+        self._fractions = numa_analysis.task_remote_fractions(trace)
+
+    def task_keys(self, trace, core):
+        return self._fractions[trace.tasks.core_slice(core)]
+
+    def value_color(self, value):
+        return palettes.numa_heat_color(value)
+
+
+def _predominant_keys(starts, ends, keys, view):
+    """Predominant key per pixel column (-1 where nothing is visible).
+
+    Two-pointer walk over the (sorted, non-overlapping) events and the
+    pixel grid: each event's overlap with the current pixel interval is
+    accumulated per key, and the key with the largest coverage wins the
+    pixel — Section VI-B's "every pixel is drawn only once".
+    """
+    result = np.full(view.width, -1, dtype=np.int64)
+    count = len(starts)
+    if count == 0:
+        return result
+    event = 0
+    for x in range(view.width):
+        t0, t1 = view.pixel_interval(x)
+        while event < count and ends[event] <= t0:
+            event += 1
+        if event >= count or starts[event] >= t1:
+            continue
+        coverage = {}
+        cursor = event
+        while cursor < count and starts[cursor] < t1:
+            key = int(keys[cursor])
+            overlap = (min(int(ends[cursor]), t1)
+                       - max(int(starts[cursor]), t0))
+            if overlap > 0 and key >= 0:
+                coverage[key] = coverage.get(key, 0) + overlap
+            if ends[cursor] > t1:
+                break
+            cursor += 1
+        if coverage:
+            result[x] = max(coverage, key=lambda k: (coverage[k], -k))
+    return result
+
+
+def _mean_values_per_pixel(starts, ends, values, view):
+    """Coverage-weighted mean value per pixel (continuous modes)."""
+    result = np.full(view.width, np.nan, dtype=np.float64)
+    count = len(starts)
+    if count == 0:
+        return result
+    event = 0
+    for x in range(view.width):
+        t0, t1 = view.pixel_interval(x)
+        while event < count and ends[event] <= t0:
+            event += 1
+        if event >= count or starts[event] >= t1:
+            continue
+        weighted = 0.0
+        total = 0
+        cursor = event
+        while cursor < count and starts[cursor] < t1:
+            overlap = (min(int(ends[cursor]), t1)
+                       - max(int(starts[cursor]), t0))
+            if overlap > 0:
+                weighted += float(values[cursor]) * overlap
+                total += overlap
+            if ends[cursor] > t1:
+                break
+            cursor += 1
+        if total:
+            result[x] = weighted / total
+    return result
+
+
+def _paint_background(framebuffer, lane_height, lane_tops):
+    for index, top in enumerate(lane_tops):
+        color = (palettes.BACKGROUND_EVEN if index % 2 == 0
+                 else palettes.BACKGROUND_ODD)
+        framebuffer.fill_rect(0, top, framebuffer.width, lane_height,
+                              color)
+
+
+def render_timeline(trace, mode, view=None, framebuffer=None,
+                    optimized=True):
+    """Render one timeline mode into a framebuffer.
+
+    ``optimized=True`` uses predominant-pixel rendering with rectangle
+    aggregation; ``optimized=False`` renders one rectangle per event
+    (the naive approach of Fig. 20), useful only for benchmarking.
+    """
+    view = TimelineView.fit(trace) if view is None else view
+    if framebuffer is None:
+        framebuffer = Framebuffer(view.width, view.height)
+    mode.prepare(trace)
+    lane_height, lane_tops = view.lane_geometry(trace.num_cores)
+    _paint_background(framebuffer, lane_height, lane_tops)
+    framebuffer.reset_counters()
+    for core in range(trace.num_cores):
+        starts, ends, keys = mode.lane_events(trace, core)
+        visible = interval_slice(starts, ends, view.start, view.end)
+        starts = starts[visible]
+        ends = ends[visible]
+        keys = keys[visible]
+        top = lane_tops[core]
+        if mode.continuous:
+            _render_lane_continuous(framebuffer, mode, view, starts, ends,
+                                    keys, top, lane_height)
+        elif optimized:
+            _render_lane_optimized(framebuffer, mode, view, starts, ends,
+                                   keys, top, lane_height)
+        else:
+            _render_lane_naive(framebuffer, mode, view, starts, ends,
+                               keys, top, lane_height)
+    return framebuffer
+
+
+def _render_lane_optimized(framebuffer, mode, view, starts, ends, keys,
+                           top, lane_height):
+    pixel_keys = _predominant_keys(starts, ends, keys, view)
+    x = 0
+    width = view.width
+    while x < width:
+        key = pixel_keys[x]
+        if key < 0:
+            x += 1
+            continue
+        run_end = x + 1
+        while run_end < width and pixel_keys[run_end] == key:
+            run_end += 1
+        framebuffer.fill_rect(x, top, run_end - x, lane_height,
+                              mode.color_of(key))
+        x = run_end
+
+
+def _render_lane_continuous(framebuffer, mode, view, starts, ends, values,
+                            top, lane_height):
+    pixel_values = _mean_values_per_pixel(starts, ends, values, view)
+    x = 0
+    width = view.width
+    while x < width:
+        if np.isnan(pixel_values[x]):
+            x += 1
+            continue
+        color = mode.value_color(pixel_values[x])
+        run_end = x + 1
+        while (run_end < width and not np.isnan(pixel_values[run_end])
+               and mode.value_color(pixel_values[run_end]) == color):
+            run_end += 1
+        framebuffer.fill_rect(x, top, run_end - x, lane_height, color)
+        x = run_end
+
+
+def _render_lane_naive(framebuffer, mode, view, starts, ends, keys, top,
+                       lane_height):
+    """One rectangle per event, possibly overdrawing the same pixel."""
+    for index in range(len(starts)):
+        key = int(keys[index])
+        if key < 0:
+            continue
+        x0 = view.time_to_pixel(int(starts[index]))
+        x1 = view.time_to_pixel(int(ends[index]))
+        framebuffer.fill_rect(max(x0, 0), top, max(x1 - x0, 1),
+                              lane_height, mode.color_of(key))

@@ -1,0 +1,32 @@
+"""Simulated task-parallel run-time and NUMA machine (the substrate)."""
+
+from .counters import (BRANCH_MISPREDICTIONS, CACHE_MISSES,
+                       CounterModelConfig, HardwareCounters,
+                       OS_RESIDENT_KB, OS_SYSTEM_TIME_US)
+from .memory import (AllocationPolicy, FirstTouch, Interleaved,
+                     MemoryManager, MemoryRegion, PAGE_SIZE,
+                     RandomPlacement)
+from .machinefile import (fully_connected_machine, load_machine,
+                          machine_from_dict, machine_to_dict,
+                          mesh_machine, save_machine, validate_distances)
+from .os_model import OsModel, OsModelConfig
+from .program import Program
+from .scheduler import NumaAwareScheduler, RandomStealScheduler, Scheduler
+from .simulator import SimConfig, SimResult, Simulator, run_program
+from .task import Access, Task, TaskType
+from .topology import Core, Machine, NumaNode, opteron_6282, uv2000
+from .tracing import TraceCollector
+
+__all__ = [
+    "BRANCH_MISPREDICTIONS", "CACHE_MISSES", "CounterModelConfig",
+    "HardwareCounters", "OS_RESIDENT_KB", "OS_SYSTEM_TIME_US",
+    "AllocationPolicy", "FirstTouch", "Interleaved", "MemoryManager",
+    "MemoryRegion", "PAGE_SIZE", "RandomPlacement",
+    "fully_connected_machine", "load_machine", "machine_from_dict",
+    "machine_to_dict", "mesh_machine", "save_machine",
+    "validate_distances", "OsModel",
+    "OsModelConfig", "Program", "NumaAwareScheduler",
+    "RandomStealScheduler", "Scheduler", "SimConfig", "SimResult",
+    "Simulator", "run_program", "Access", "Task", "TaskType", "Core",
+    "Machine", "NumaNode", "opteron_6282", "uv2000", "TraceCollector",
+]

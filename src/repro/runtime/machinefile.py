@@ -1,0 +1,98 @@
+"""Machine description files.
+
+Aftermath traces embed the machine's topology, and the tool "relates
+this information to the machine's topology" (Section I).  For
+experiments it is convenient to describe machines externally — the way
+``numactl --hardware`` reports them — including a custom distance
+matrix.  This module loads/saves machine descriptions as JSON and
+offers the common interconnect shapes as generators.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .topology import Machine
+
+
+def machine_to_dict(machine):
+    """Serializable description including the full distance matrix."""
+    return {
+        "name": machine.name,
+        "num_nodes": machine.num_nodes,
+        "cores_per_node": machine.cores_per_node,
+        "distances": [[machine.distance(a, b)
+                       for b in range(machine.num_nodes)]
+                      for a in range(machine.num_nodes)],
+    }
+
+
+def machine_from_dict(data):
+    """Rebuild a :class:`Machine`, trusting the stored distances."""
+    machine = Machine(num_nodes=data["num_nodes"],
+                      cores_per_node=data["cores_per_node"],
+                      name=data.get("name", "machine"))
+    distances = data.get("distances")
+    if distances is not None:
+        validate_distances(distances, data["num_nodes"])
+        machine._distance = [list(row) for row in distances]
+    return machine
+
+
+def validate_distances(distances, num_nodes):
+    """numactl invariants: square, 10 on the diagonal, symmetric,
+    remote distances strictly above local."""
+    if len(distances) != num_nodes:
+        raise ValueError("distance matrix must be {0}x{0}"
+                         .format(num_nodes))
+    for a, row in enumerate(distances):
+        if len(row) != num_nodes:
+            raise ValueError("distance matrix must be square")
+        if row[a] != 10:
+            raise ValueError("local distance must be 10")
+        for b, value in enumerate(row):
+            if a != b and value <= 10:
+                raise ValueError("remote distance must exceed 10")
+            if distances[b][a] != value:
+                raise ValueError("distance matrix must be symmetric")
+    return True
+
+
+def save_machine(machine, path):
+    with open(path, "w") as handle:
+        json.dump(machine_to_dict(machine), handle, indent=2)
+
+
+def load_machine(path):
+    with open(path) as handle:
+        return machine_from_dict(json.load(handle))
+
+
+def mesh_machine(rows, cols, cores_per_node=8, base=20, per_hop=5,
+                 name=None):
+    """A 2-D mesh interconnect: distance grows with Manhattan hops."""
+    num_nodes = rows * cols
+    machine = Machine(num_nodes, cores_per_node,
+                      name=name or "mesh-{}x{}".format(rows, cols))
+    distances = []
+    for a in range(num_nodes):
+        row = []
+        ax, ay = a % cols, a // cols
+        for b in range(num_nodes):
+            bx, by = b % cols, b // cols
+            hops = abs(ax - bx) + abs(ay - by)
+            row.append(10 if hops == 0 else base + per_hop * (hops - 1))
+        distances.append(row)
+    machine._distance = distances
+    return machine
+
+
+def fully_connected_machine(num_nodes, cores_per_node=8, remote=22,
+                            name=None):
+    """A crossbar: every remote node is equally far (small SMPs)."""
+    machine = Machine(num_nodes, cores_per_node,
+                      name=name or "crossbar-{}".format(num_nodes))
+    machine._distance = [[10 if a == b else remote
+                          for b in range(num_nodes)]
+                         for a in range(num_nodes)]
+    return machine

@@ -1,0 +1,208 @@
+"""NUMA memory model: regions, page placement and allocation policies.
+
+OpenStream exchanges data between dependent tasks through explicit memory
+regions (stream buffers).  Aftermath derives all of its NUMA analyses from
+two pieces of trace information: the address ranges accessed by each task
+and the NUMA placement of each memory region (stored once per region, not
+per access — Section VI-A).
+
+The simulator mirrors that: a :class:`MemoryManager` hands out address
+ranges, places their pages on NUMA nodes according to a policy, and
+reports placement for any address so the tracer can record it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+PAGE_SIZE = 4096
+
+
+@dataclass
+class MemoryRegion:
+    """A contiguous virtual address range used for inter-task data exchange.
+
+    ``pages[i]`` holds the NUMA node of the i-th page, or ``None`` while
+    the page has not been physically allocated yet (first-touch policy).
+    """
+
+    region_id: int
+    address: int
+    size: int
+    name: str = ""
+    pages: List[Optional[int]] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.pages:
+            self.pages = [None] * self.num_pages
+        self._allocated = sum(1 for node in self.pages if node is not None)
+        self._node_set = set(node for node in self.pages if node is not None)
+
+    @property
+    def num_pages(self):
+        return (self.size + PAGE_SIZE - 1) // PAGE_SIZE
+
+    @property
+    def end(self):
+        return self.address + self.size
+
+    def contains(self, address):
+        return self.address <= address < self.end
+
+    def page_index(self, address):
+        if not self.contains(address):
+            raise ValueError("address 0x{:x} outside region {}"
+                             .format(address, self.region_id))
+        return (address - self.address) // PAGE_SIZE
+
+    def node_of(self, address):
+        """NUMA node holding ``address``, or ``None`` if not yet allocated."""
+        return self.pages[self.page_index(address)]
+
+    def place_page(self, index, node):
+        """Physically allocate page ``index`` on ``node`` (internal)."""
+        if self.pages[index] is None:
+            self._allocated += 1
+        self.pages[index] = node
+        self._node_set.add(node)
+
+    @property
+    def uniform_node(self):
+        """The single node holding *all* pages, or ``None`` if mixed or
+        not fully allocated.  Used as a fast path by access accounting."""
+        if self._allocated == self.num_pages and len(self._node_set) == 1:
+            return next(iter(self._node_set))
+        return None
+
+    def predominant_node(self):
+        """The node holding the largest share of allocated pages."""
+        counts: Dict[int, int] = {}
+        for node in self.pages:
+            if node is not None:
+                counts[node] = counts.get(node, 0) + 1
+        if not counts:
+            return None
+        return max(counts, key=lambda n: (counts[n], -n))
+
+
+class AllocationPolicy:
+    """Decides the placement of a page at physical-allocation time."""
+
+    def place(self, toucher_node, page_index):
+        raise NotImplementedError
+
+
+class FirstTouch(AllocationPolicy):
+    """Pages land on the node of the first core that touches them.
+
+    This is the Linux default and the root cause of the seidel anomaly in
+    Section III-B: initialization tasks trigger all the physical
+    allocation (and the associated OS time).
+    """
+
+    def place(self, toucher_node, page_index):
+        return toucher_node
+
+
+class Interleaved(AllocationPolicy):
+    """Round-robin placement across nodes (``numactl --interleave``)."""
+
+    def __init__(self, num_nodes):
+        self.num_nodes = num_nodes
+
+    def place(self, toucher_node, page_index):
+        return page_index % self.num_nodes
+
+
+class RandomPlacement(AllocationPolicy):
+    """Uniform random placement; models the paper's *non-optimized*
+    configuration in which data placement ignores NUMA entirely."""
+
+    def __init__(self, num_nodes, seed=0):
+        self.num_nodes = num_nodes
+        self._rng = random.Random(seed)
+
+    def place(self, toucher_node, page_index):
+        return self._rng.randrange(self.num_nodes)
+
+
+class MemoryManager:
+    """Allocates regions and resolves addresses to regions and NUMA nodes."""
+
+    def __init__(self, machine, policy=None, base_address=0x10000000):
+        self.machine = machine
+        self.policy = policy if policy is not None else FirstTouch()
+        self._next_address = base_address
+        self._next_region_id = 0
+        self.regions: List[MemoryRegion] = []
+
+    def allocate(self, size, name=""):
+        """Reserve a virtual region; physical pages appear on first touch."""
+        if size <= 0:
+            raise ValueError("region size must be positive")
+        region = MemoryRegion(region_id=self._next_region_id,
+                              address=self._next_address, size=size,
+                              name=name)
+        self._next_region_id += 1
+        # Keep regions page-aligned and non-adjacent so lookups are unambiguous.
+        self._next_address += (region.num_pages + 1) * PAGE_SIZE
+        self.regions.append(region)
+        return region
+
+    def region_of(self, address):
+        """Region containing ``address`` (binary search over sorted regions)."""
+        lo, hi = 0, len(self.regions)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            region = self.regions[mid]
+            if address < region.address:
+                hi = mid
+            elif address >= region.end:
+                lo = mid + 1
+            else:
+                return region
+        return None
+
+    def touch(self, region, offset, size, toucher_node):
+        """Record an access; physically allocate untouched pages.
+
+        Returns the number of pages that were faulted in by this access,
+        which the OS model converts into system time and resident size.
+        """
+        if offset < 0 or offset + size > region.size:
+            raise ValueError("access outside region bounds")
+        first = offset // PAGE_SIZE
+        last = (offset + max(size, 1) - 1) // PAGE_SIZE
+        faults = 0
+        for index in range(first, last + 1):
+            if region.pages[index] is None:
+                region.place_page(
+                    index, self.policy.place(toucher_node, index))
+                faults += 1
+        return faults
+
+    def access_nodes(self, region, offset, size):
+        """Bytes of the access served by each NUMA node.
+
+        Unallocated pages are ignored (the simulator always touches before
+        asking, so this only happens for zero-fault reads of fresh pages).
+        """
+        node = region.uniform_node
+        if node is not None:
+            return {node: size}
+        first = offset // PAGE_SIZE
+        last = (offset + max(size, 1) - 1) // PAGE_SIZE
+        per_node: Dict[int, int] = {}
+        remaining = size
+        cursor = offset
+        for index in range(first, last + 1):
+            page_end = (index + 1) * PAGE_SIZE
+            chunk = min(remaining, page_end - cursor)
+            node = region.pages[index]
+            if node is not None:
+                per_node[node] = per_node.get(node, 0) + chunk
+            cursor += chunk
+            remaining -= chunk
+        return per_node

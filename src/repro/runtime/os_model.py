@@ -1,0 +1,78 @@
+"""Operating-system model: getrusage-like statistics.
+
+Section III-B of the paper confirms the seidel initialization anomaly by
+plotting the discrete derivative of the aggregated *system time* and of
+the application's *resident size*, collected per worker through
+``getrusage``.  Both quantities grow when tasks touch pages for the
+first time: the kernel spends time in the page-fault handler and maps a
+fresh physical page.
+
+This model charges each first-touch page fault a fixed amount of system
+time on the faulting worker and one page of resident size, and exposes
+per-worker cumulative values the tracer samples at task boundaries —
+Aftermath's aggregating derived counters then turn the per-worker series
+into the global statistics of Fig. 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .memory import PAGE_SIZE
+
+
+@dataclass
+class OsModelConfig:
+    """Costs of kernel involvement.
+
+    ``fault_system_us`` is the system time charged per minor page fault;
+    ``fault_cycles`` is the stall observed by the faulting task (the
+    quantity that makes seidel's initialization tasks slow).
+    ``syscall_system_us_per_gcycle`` models the small background system
+    time every worker accumulates regardless of faults.
+    """
+
+    fault_system_us: float = 1.5
+    fault_cycles: int = 25000
+    syscall_system_us_per_gcycle: float = 50.0
+
+
+class OsModel:
+    """Per-worker system time and resident-size accounting."""
+
+    def __init__(self, num_cores, config=None):
+        self.config = config if config is not None else OsModelConfig()
+        self.num_cores = num_cores
+        self._system_time_us: List[float] = [0.0] * num_cores
+        self._resident_kb: List[float] = [0.0] * num_cores
+        self._last_background: List[int] = [0] * num_cores
+
+    def charge_faults(self, core, faults):
+        """Account ``faults`` minor page faults taken by ``core``.
+
+        Returns the cycles the faulting task stalls for.
+        """
+        if faults <= 0:
+            return 0
+        self._system_time_us[core] += faults * self.config.fault_system_us
+        self._resident_kb[core] += faults * (PAGE_SIZE / 1024.0)
+        return faults * self.config.fault_cycles
+
+    def charge_background(self, core, now):
+        """Accumulate background system time up to cycle ``now``."""
+        elapsed = now - self._last_background[core]
+        if elapsed > 0:
+            self._system_time_us[core] += (
+                elapsed * self.config.syscall_system_us_per_gcycle / 1e9)
+            self._last_background[core] = now
+
+    def system_time_us(self, core):
+        return self._system_time_us[core]
+
+    def resident_kb(self, core):
+        """This worker's contribution to the application's resident size."""
+        return self._resident_kb[core]
+
+    def total_resident_kb(self):
+        return sum(self._resident_kb)

@@ -1,0 +1,179 @@
+"""Program builder: declares task types, regions and tasks, derives deps.
+
+A :class:`Program` is the static description of a dynamic task graph.
+Workloads build one by allocating memory regions and declaring tasks with
+their read/write accesses; :meth:`Program.finalize` derives the
+dependence edges (writer before overlapping reader, in declaration
+order), which is the same derivation Aftermath performs post-mortem from
+the trace's memory-access records.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from .memory import MemoryManager
+from .task import Access, Task, TaskType
+
+# Synthetic code addresses for work functions, spaced like a real text
+# segment so symbol lookup (Section VI-C) has something to resolve.
+_TYPE_ADDRESS_BASE = 0x400000
+_TYPE_ADDRESS_STRIDE = 0x100
+
+
+class Program:
+    """A dependent-task program plus the memory it operates on."""
+
+    def __init__(self, machine, memory=None, name="program"):
+        self.name = name
+        self.machine = machine
+        self.memory = memory if memory is not None else MemoryManager(machine)
+        self.tasks: List[Task] = []
+        self.task_types: List[TaskType] = []
+        self._types_by_name: Dict[str, TaskType] = {}
+        self._finalized = False
+
+    def task_type(self, name, source_file="", source_line=0):
+        """Get or create the :class:`TaskType` for a work function name."""
+        existing = self._types_by_name.get(name)
+        if existing is not None:
+            return existing
+        type_id = len(self.task_types)
+        task_type = TaskType(
+            type_id=type_id, name=name,
+            address=_TYPE_ADDRESS_BASE + type_id * _TYPE_ADDRESS_STRIDE,
+            source_file=source_file or "{}.c".format(self.name),
+            source_line=source_line or 10 * (type_id + 1))
+        self.task_types.append(task_type)
+        self._types_by_name[name] = task_type
+        return task_type
+
+    def allocate(self, size, name=""):
+        """Allocate a memory region for inter-task data exchange."""
+        return self.memory.allocate(size, name=name)
+
+    def spawn(self, type_name, work, reads=(), writes=(), creator=None,
+              counters=None, metadata=None):
+        """Declare a task.
+
+        ``reads``/``writes`` are ``(region, offset, size)`` triples.
+        ``creator`` is the task that dynamically creates this one; root
+        tasks (``creator=None``) are created by the control program.
+        """
+        if self._finalized:
+            raise RuntimeError("cannot spawn after finalize()")
+        task = Task(
+            task_id=len(self.tasks),
+            task_type=self.task_type(type_name),
+            work=int(work),
+            reads=[Access(region, offset, size, is_write=False)
+                   for region, offset, size in reads],
+            writes=[Access(region, offset, size, is_write=True)
+                    for region, offset, size in writes],
+            creator=creator,
+            counters=dict(counters) if counters else {},
+            metadata=dict(metadata) if metadata else {})
+        self.tasks.append(task)
+        return task
+
+    def finalize(self):
+        """Derive dependence edges: each read depends on its last writers.
+
+        For every read access, the reader depends on the most recent
+        earlier-declared writers that produced the bytes it reads (the
+        *visible last writers*, scanning writes newest-first until the
+        read range is covered).  This matches OpenStream flow-dependence
+        semantics and is the same derivation Aftermath performs
+        post-mortem from the trace's memory-access records.
+
+        Anti- and output dependences are not modeled; workloads must use
+        access patterns where flow dependences imply a correct ordering
+        (true for the paper's seidel and k-means graphs).  Creator edges
+        are handled by the simulator (a task cannot start before being
+        created), not here.
+        """
+        if self._finalized:
+            return self
+        writes_by_region = defaultdict(list)
+        for task in self.tasks:
+            for access in task.reads:
+                self._link_last_writers(
+                    task, access,
+                    writes_by_region[access.region.region_id])
+            for access in task.writes:
+                writes_by_region[access.region.region_id].append(
+                    (access, task))
+        self._finalized = True
+        return self
+
+    @staticmethod
+    def _link_last_writers(task, read, writes):
+        """Add edges from ``task`` to the visible last writers of ``read``.
+
+        Scans the region's writes newest-first, adding an edge for every
+        write overlapping a not-yet-covered part of the read range, and
+        stops once the range is fully covered.
+        """
+        uncovered = [(read.start, read.end)]
+        deps = set(dep.task_id for dep in task.dependencies)
+        for write, writer in reversed(writes):
+            if writer is task or not uncovered:
+                continue
+            remaining = []
+            hit = False
+            for start, end in uncovered:
+                if write.start < end and start < write.end:
+                    hit = True
+                    if start < write.start:
+                        remaining.append((start, write.start))
+                    if write.end < end:
+                        remaining.append((write.end, end))
+                else:
+                    remaining.append((start, end))
+            if hit and writer.task_id not in deps:
+                deps.add(writer.task_id)
+                task.dependencies.append(writer)
+                writer.dependents.append(task)
+            uncovered = remaining
+            if not uncovered:
+                break
+
+    @property
+    def finalized(self):
+        return self._finalized
+
+    def roots(self):
+        """Tasks with no data dependences (ready upon creation)."""
+        return [task for task in self.tasks if not task.dependencies]
+
+    def validate_acyclic(self):
+        """Raise ``ValueError`` if the dependence graph has a cycle."""
+        state: Dict[int, int] = {}
+        for start in self.tasks:
+            if state.get(start.task_id):
+                continue
+            stack = [(start, iter(start.dependents))]
+            state[start.task_id] = 1
+            while stack:
+                task, children = stack[-1]
+                advanced = False
+                for child in children:
+                    mark = state.get(child.task_id, 0)
+                    if mark == 1:
+                        raise ValueError("dependence cycle through task {}"
+                                         .format(child.task_id))
+                    if mark == 0:
+                        state[child.task_id] = 1
+                        stack.append((child, iter(child.dependents)))
+                        advanced = True
+                        break
+                if not advanced:
+                    state[task.task_id] = 2
+                    stack.pop()
+        return True
+
+    def __repr__(self):
+        return ("Program(name={!r}, tasks={}, types={}, regions={})"
+                .format(self.name, len(self.tasks), len(self.task_types),
+                        len(self.memory.regions)))

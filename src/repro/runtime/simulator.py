@@ -1,0 +1,379 @@
+"""Discrete-event simulation of a task-parallel run-time on a NUMA machine.
+
+One worker thread is pinned to each core of the :class:`Machine`.
+Workers traverse the states Aftermath visualizes (Section II-B): they
+execute tasks (RUNNING), create child tasks (CREATE), broadcast data to
+consumers (BROADCAST), steal work (STEAL), spin in the work-stealing
+loop when out of work (IDLE) and wait on the final barrier (SYNC).
+
+Task execution cost combines the task's computational ``work`` with a
+NUMA-aware memory model: every byte accessed is charged a per-byte cost
+scaled by the NUMA distance between the executing core's node and the
+node holding the page, and first-touch page faults stall the task and
+consume OS system time.  These mechanisms produce every cross-layer
+anomaly studied in the paper: slow first-touch initialization tasks
+(Section III-B), granularity/overhead trade-offs (Section III-C), the
+locality gap between the NUMA-oblivious and NUMA-aware configurations
+(Section IV) and counter/duration correlations (Section V).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.events import DiscreteEventKind, WorkerState
+from .counters import (CounterModelConfig, HardwareCounters,
+                       OS_RESIDENT_KB, OS_SYSTEM_TIME_US)
+from .os_model import OsModel, OsModelConfig
+from .tracing import TraceCollector
+
+
+@dataclass
+class SimConfig:
+    """Cost model of the simulated run-time (all times in cycles)."""
+
+    cycles_per_byte_read: float = 0.8
+    cycles_per_byte_write: float = 0.8
+    task_overhead: int = 600          # per-task dispatch/management cost
+    create_cost: int = 250            # per created task, on the creator
+    steal_cost: int = 1200            # transferring a stolen task
+    wake_latency: int = 800           # enqueue -> idle worker reaction
+    broadcast_threshold: int = 4      # dependents that trigger a broadcast
+    broadcast_cost: int = 400         # per consumer of a broadcast
+    final_barrier_cost: int = 2000    # SYNC at the end of the execution
+    seed: int = 0
+
+
+class _NullCollector:
+    """Tracing disabled: every hook is a no-op."""
+
+    def state(self, *args):
+        pass
+
+    def task_execution(self, *args):
+        pass
+
+    def memory_access(self, *args):
+        pass
+
+    def counter_sample(self, *args):
+        pass
+
+    def discrete_event(self, *args, **kwargs):
+        pass
+
+    def comm_event(self, *args, **kwargs):
+        pass
+
+    def record_static(self, *args):
+        pass
+
+
+@dataclass
+class _Worker:
+    core: int
+    current_task: Optional[object] = None
+    idle_since: Optional[int] = None
+    waking: bool = False
+    last_active: int = 0
+
+
+@dataclass
+class SimResult:
+    """Outcome of a simulation run."""
+
+    makespan: int
+    state_cycles: Dict[int, int]
+    steals: int
+    page_faults: int
+    tasks_executed: int
+
+    @property
+    def idle_cycles(self):
+        return self.state_cycles.get(int(WorkerState.IDLE), 0)
+
+    @property
+    def running_cycles(self):
+        return self.state_cycles.get(int(WorkerState.RUNNING), 0)
+
+
+# Event kinds ordered so that same-timestamp events process sensibly.
+_EV_CREATED = 0     # a task finished being created
+_EV_FINISH = 1      # a worker finishes its current task
+_EV_WAKE = 2        # a worker looks for work
+
+#: Sentinel occupying worker 0 while the control program creates the
+#: root tasks (the worker joins the pool only afterwards).
+_MAIN_CREATION = object()
+
+
+class Simulator:
+    """Executes a finalized :class:`Program` on a :class:`Machine`."""
+
+    def __init__(self, program, scheduler, collector=None, config=None,
+                 os_config=None, counter_config=None):
+        if not program.finalized:
+            program.finalize()
+        self.program = program
+        self.machine = program.machine
+        self.scheduler = scheduler
+        self.config = config if config is not None else SimConfig()
+        self.collector = (collector if collector is not None
+                          else _NullCollector())
+        self.os_model = OsModel(self.machine.num_cores,
+                                os_config if os_config is not None
+                                else OsModelConfig())
+        self.hw_counters = HardwareCounters(
+            self.machine.num_cores,
+            counter_config if counter_config is not None
+            else CounterModelConfig())
+        self._rng = random.Random(self.config.seed)
+        self._heap = []
+        self._seq = 0
+        self._workers = [_Worker(core=core)
+                         for core in range(self.machine.num_cores)]
+        self._remaining = {}
+        self._children = {}
+        self._tasks_left = 0
+        self._last_completion = 0
+        self._state_cycles = {int(state): 0 for state in WorkerState}
+        self._steals = 0
+        self._page_faults = 0
+        self._collect_rusage = getattr(self.collector, "collect_rusage",
+                                       False)
+
+    # -- event plumbing -----------------------------------------------
+    def _push(self, time, kind, arg):
+        self._seq += 1
+        heapq.heappush(self._heap, (time, kind, self._seq, arg))
+
+    def _emit_state(self, core, state, start, end):
+        if end > start:
+            self._state_cycles[int(state)] += end - start
+            self.collector.state(core, state, start, end)
+
+    # -- setup ----------------------------------------------------------
+    def _setup(self):
+        self._tasks_left = len(self.program.tasks)
+        roots = []
+        for task in self.program.tasks:
+            self._remaining[task.task_id] = len(task.dependencies) + 1
+            if task.creator is None:
+                roots.append(task)
+            else:
+                self._children.setdefault(task.creator.task_id,
+                                          []).append(task)
+        # The control program ("main", on core 0) creates all root tasks
+        # sequentially before joining the worker pool.
+        create_end = 0
+        for index, task in enumerate(roots):
+            created_at = (index + 1) * self.config.create_cost
+            create_end = created_at
+            self._push(created_at, _EV_CREATED, (task, 0))
+        if create_end:
+            self._emit_state(0, WorkerState.CREATE, 0, create_end)
+            self._workers[0].last_active = create_end
+            self._workers[0].current_task = _MAIN_CREATION
+        self._push(create_end, _EV_WAKE, 0)
+        for worker in self._workers[1:]:
+            worker.idle_since = 0
+
+    # -- main loop ------------------------------------------------------
+    def run(self):
+        """Run to completion and return a :class:`SimResult`."""
+        self._setup()
+        heap = self._heap
+        while heap:
+            time, kind, __, arg = heapq.heappop(heap)
+            if kind == _EV_CREATED:
+                task, origin = arg
+                self.collector.discrete_event(
+                    origin, DiscreteEventKind.TASK_CREATED, time,
+                    task.task_id)
+                self._resolve(task, origin, time)
+            elif kind == _EV_FINISH:
+                self._finish(arg, time)
+            else:
+                self._wake(arg, time)
+        makespan = self._last_completion
+        for worker in self._workers:
+            if worker.idle_since is not None and worker.idle_since < makespan:
+                self._emit_state(worker.core, WorkerState.IDLE,
+                                 worker.idle_since, makespan)
+                worker.idle_since = None
+        if makespan:
+            for worker in self._workers:
+                self._emit_state(worker.core, WorkerState.SYNC, makespan,
+                                 makespan + self.config.final_barrier_cost)
+        self.collector.record_static(self.program)
+        return SimResult(makespan=makespan,
+                         state_cycles=dict(self._state_cycles),
+                         steals=self._steals,
+                         page_faults=self._page_faults,
+                         tasks_executed=len(self.program.tasks))
+
+    # -- readiness ------------------------------------------------------
+    def _resolve(self, task, origin_core, time):
+        """One readiness token of ``task`` resolved (creation or a dep)."""
+        self._remaining[task.task_id] -= 1
+        if self._remaining[task.task_id] == 0:
+            self._enqueue(task, origin_core, time)
+
+    def _enqueue(self, task, origin_core, time):
+        core = self.scheduler.enqueue(task, origin_core)
+        target = self._workers[core]
+        if target.current_task is None and not target.waking:
+            target.waking = True
+            self._push(time + self.config.wake_latency, _EV_WAKE, core)
+            return
+        # The target is busy: wake an idle worker to steal the task.
+        idle = [worker for worker in self._workers
+                if worker.current_task is None and not worker.waking
+                and worker.idle_since is not None]
+        if idle:
+            thief = self._pick_thief(idle, core)
+            thief.waking = True
+            self._push(time + self.config.wake_latency, _EV_WAKE,
+                       thief.core)
+
+    def _pick_thief(self, idle_workers, target_core):
+        """Prefer thieves close (NUMA-wise) to the queue holding work."""
+        node = self.machine.node_of_core(target_core)
+        best = min(idle_workers,
+                   key=lambda worker: (self.machine.distance(
+                       node, self.machine.node_of_core(worker.core)),
+                       worker.core))
+        return best
+
+    # -- worker behaviour -----------------------------------------------
+    def _wake(self, core, time):
+        worker = self._workers[core]
+        worker.waking = False
+        if worker.current_task is _MAIN_CREATION:
+            # The control program finished creating the root tasks;
+            # worker 0 now joins the worker pool.
+            worker.current_task = None
+        elif worker.current_task is not None:
+            return
+        self._seek(core, time)
+
+    def _seek(self, core, time):
+        worker = self._workers[core]
+        task = self.scheduler.pop_local(core)
+        victim = None
+        if task is None:
+            stolen = self.scheduler.steal(core)
+            if stolen is not None:
+                task, victim = stolen
+        if task is None:
+            if worker.idle_since is None:
+                worker.idle_since = time
+            return
+        if worker.idle_since is not None:
+            self._emit_state(core, WorkerState.IDLE, worker.idle_since,
+                             time)
+            worker.idle_since = None
+        if victim is not None:
+            self._steals += 1
+            end = time + self.config.steal_cost
+            self._emit_state(core, WorkerState.STEAL, time, end)
+            self.collector.comm_event(victim, core, time,
+                                      task_id=task.task_id)
+            self.collector.discrete_event(
+                core, DiscreteEventKind.TASK_STOLEN, time, task.task_id)
+            time = end
+        self._start_task(core, task, time)
+
+    def _start_task(self, core, task, start):
+        config = self.config
+        machine = self.machine
+        memory = self.program.memory
+        node = machine.node_of_core(core)
+        faults = 0
+        mem_cycles = 0.0
+        local_bytes = 0
+        remote_bytes = 0
+        for access in task.accesses:
+            faults += memory.touch(access.region, access.offset,
+                                   access.size, node)
+            cpb = (config.cycles_per_byte_write if access.is_write
+                   else config.cycles_per_byte_read)
+            for src_node, nbytes in memory.access_nodes(
+                    access.region, access.offset, access.size).items():
+                mem_cycles += nbytes * cpb * machine.access_factor(
+                    node, src_node)
+                if src_node == node:
+                    local_bytes += nbytes
+                else:
+                    remote_bytes += nbytes
+            self.collector.memory_access(task, core, access, start)
+        self._page_faults += faults
+        fault_stall = self.os_model.charge_faults(core, faults)
+        self.os_model.charge_background(core, start)
+        duration = (config.task_overhead + task.work + int(mem_cycles)
+                    + fault_stall)
+        end = start + duration
+        self._sample_counters(core, start)
+        self.hw_counters.charge_task(core, task, local_bytes, remote_bytes)
+        self._sample_counters(core, end)
+        self.collector.task_execution(task, core, start, end)
+        self._emit_state(core, WorkerState.RUNNING, start, end)
+        worker = self._workers[core]
+        worker.current_task = task
+        worker.last_active = end
+        self._push(end, _EV_FINISH, core)
+
+    def _sample_counters(self, core, time):
+        collector = self.collector
+        for name, value in self.hw_counters.snapshot(core).items():
+            collector.counter_sample(core, name, time, value)
+        if self._collect_rusage:
+            collector.counter_sample(core, OS_SYSTEM_TIME_US, time,
+                                     self.os_model.system_time_us(core))
+            collector.counter_sample(core, OS_RESIDENT_KB, time,
+                                     self.os_model.resident_kb(core))
+
+    def _finish(self, core, time):
+        worker = self._workers[core]
+        task = worker.current_task
+        worker.current_task = None
+        self._tasks_left -= 1
+        self._last_completion = max(self._last_completion, time)
+        cursor = time
+        children = self._children.get(task.task_id)
+        if children:
+            total = len(children) * self.config.create_cost
+            self._emit_state(core, WorkerState.CREATE, cursor,
+                             cursor + total)
+            for index, child in enumerate(children):
+                created_at = cursor + (index + 1) * self.config.create_cost
+                self._push(created_at, _EV_CREATED, (child, core))
+            cursor += total
+        if len(task.dependents) >= self.config.broadcast_threshold:
+            cost = len(task.dependents) * self.config.broadcast_cost
+            self._emit_state(core, WorkerState.BROADCAST, cursor,
+                             cursor + cost)
+            cursor += cost
+        for dependent in task.dependents:
+            self._resolve(dependent, core, time)
+        worker.last_active = cursor
+        self._seek(core, cursor)
+
+
+def run_program(program, scheduler, collector=None, config=None,
+                os_config=None, counter_config=None):
+    """Convenience wrapper: simulate and return ``(result, trace)``.
+
+    ``trace`` is ``None`` when no collector was given.
+    """
+    simulator = Simulator(program, scheduler, collector=collector,
+                          config=config, os_config=os_config,
+                          counter_config=counter_config)
+    result = simulator.run()
+    trace = None
+    if isinstance(collector, TraceCollector):
+        trace = collector.build()
+    return result, trace

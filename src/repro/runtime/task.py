@@ -1,0 +1,111 @@
+"""Dependent-task model: task types, memory accesses and tasks.
+
+OpenStream programs consist of dynamically created tasks whose
+dependences are expressed through reads and writes of explicit memory
+regions (streams).  The simulator keeps that structure: a task declares
+the byte ranges it reads and writes, and dependences are *derived* from
+overlapping writer/reader ranges — exactly the information Aftermath
+later uses to reconstruct the task graph from the trace (Section III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .memory import MemoryRegion
+
+
+@dataclass(frozen=True)
+class TaskType:
+    """A work function: what the paper's *typemap* mode colors by.
+
+    ``address`` stands in for the work function's code address, which
+    Aftermath resolves to a name through the symbol table (Section VI-C).
+    """
+
+    type_id: int
+    name: str
+    address: int = 0
+    source_file: str = ""
+    source_line: int = 0
+
+
+@dataclass(frozen=True)
+class Access:
+    """One byte range read or written by a task."""
+
+    region: MemoryRegion
+    offset: int
+    size: int
+    is_write: bool
+
+    def __post_init__(self):
+        if self.offset < 0 or self.size <= 0:
+            raise ValueError("access must have offset >= 0 and size > 0")
+        if self.offset + self.size > self.region.size:
+            raise ValueError("access overruns region {}"
+                             .format(self.region.region_id))
+
+    @property
+    def start(self):
+        return self.offset
+
+    @property
+    def end(self):
+        return self.offset + self.size
+
+    def overlaps(self, other):
+        return (self.region is other.region
+                and self.start < other.end and other.start < self.end)
+
+
+@dataclass
+class Task:
+    """One dynamically created task instance.
+
+    ``work`` is the task's computational cost in cycles assuming all
+    memory accesses are node-local; the simulator adds NUMA penalties,
+    page-fault time and per-task management overhead on top.
+
+    ``counters`` maps hardware-counter names to the increment the task
+    contributes (e.g. branch mispredictions); the counter model turns
+    these into per-core monotone counters sampled at task boundaries.
+    """
+
+    task_id: int
+    task_type: TaskType
+    work: int
+    reads: List[Access] = field(default_factory=list)
+    writes: List[Access] = field(default_factory=list)
+    creator: Optional["Task"] = None
+    counters: Dict[str, int] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # Filled in by Program.finalize() / the simulator.
+    dependencies: List["Task"] = field(default_factory=list)
+    dependents: List["Task"] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.work < 0:
+            raise ValueError("task work must be non-negative")
+
+    @property
+    def accesses(self):
+        return self.reads + self.writes
+
+    def bytes_read(self):
+        return sum(access.size for access in self.reads)
+
+    def bytes_written(self):
+        return sum(access.size for access in self.writes)
+
+    def __hash__(self):
+        return self.task_id
+
+    def __eq__(self, other):
+        return isinstance(other, Task) and other.task_id == self.task_id
+
+    def __repr__(self):
+        return "Task(id={}, type={})".format(self.task_id,
+                                             self.task_type.name)

@@ -1,0 +1,126 @@
+"""Machine topology model: cores, NUMA nodes and inter-node distances.
+
+The paper evaluates Aftermath on two machines:
+
+* an SGI UV2000 with 192 cores and 24 NUMA nodes (Numalink 6), used for
+  the ``seidel`` analyses, and
+* a quad-socket AMD Opteron 6282 SE with 64 cores and 8 NUMA nodes
+  (HyperTransport 3.0), used for the ``k-means`` analyses.
+
+Aftermath relates trace information to this topology (timeline rows are
+cores grouped by node, NUMA maps color by node, the communication matrix
+is node x node).  The simulator uses the same description plus a distance
+matrix to charge remote memory accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class Core:
+    """A single hardware thread (the paper pins one worker per core)."""
+
+    core_id: int
+    numa_node: int
+
+
+@dataclass(frozen=True)
+class NumaNode:
+    """A NUMA node: a memory controller plus the cores attached to it."""
+
+    node_id: int
+    core_ids: List[int] = field(default_factory=list)
+
+
+class Machine:
+    """A NUMA machine: ``num_nodes`` nodes with ``cores_per_node`` cores each.
+
+    The distance matrix follows the convention of the Linux ``numactl``
+    tool: local distance is 10 and remote distances grow with hop count.
+    The simulator scales memory-access costs by ``distance / 10``.
+    """
+
+    def __init__(self, num_nodes, cores_per_node, name="machine",
+                 remote_distance=30):
+        if num_nodes < 1:
+            raise ValueError("a machine needs at least one NUMA node")
+        if cores_per_node < 1:
+            raise ValueError("a NUMA node needs at least one core")
+        self.name = name
+        self.num_nodes = num_nodes
+        self.cores_per_node = cores_per_node
+        self.cores = []
+        self.nodes = []
+        for node_id in range(num_nodes):
+            core_ids = []
+            for local in range(cores_per_node):
+                core_id = node_id * cores_per_node + local
+                self.cores.append(Core(core_id=core_id, numa_node=node_id))
+                core_ids.append(core_id)
+            self.nodes.append(NumaNode(node_id=node_id, core_ids=core_ids))
+        self._distance = self._build_distances(num_nodes, remote_distance)
+
+    @staticmethod
+    def _build_distances(num_nodes, remote_distance):
+        """Ring-like distance matrix: 10 local, growing with ring hops.
+
+        Both paper machines have point-to-point interconnects (Numalink,
+        HyperTransport) where distance grows with hop count; a ring is the
+        simplest topology with that property.
+        """
+        rows = []
+        for a in range(num_nodes):
+            row = []
+            for b in range(num_nodes):
+                if a == b:
+                    row.append(10)
+                else:
+                    hops = min((a - b) % num_nodes, (b - a) % num_nodes)
+                    row.append(remote_distance + 4 * (hops - 1))
+            rows.append(row)
+        return rows
+
+    @property
+    def num_cores(self):
+        return len(self.cores)
+
+    def core(self, core_id):
+        return self.cores[core_id]
+
+    def node_of_core(self, core_id):
+        """NUMA node id that ``core_id`` belongs to."""
+        return self.cores[core_id].numa_node
+
+    def distance(self, node_a, node_b):
+        """NUMA distance between two nodes (10 = local)."""
+        return self._distance[node_a][node_b]
+
+    def access_factor(self, from_node, to_node):
+        """Cost multiplier of an access from ``from_node`` to ``to_node``."""
+        return self.distance(from_node, to_node) / 10.0
+
+    def __repr__(self):
+        return ("Machine(name={!r}, nodes={}, cores={})"
+                .format(self.name, self.num_nodes, self.num_cores))
+
+
+def uv2000(scale=1.0):
+    """The seidel test system: SGI UV2000, 192 cores over 24 NUMA nodes.
+
+    ``scale`` < 1 shrinks the machine proportionally (the node count is
+    scaled, the 8-cores-per-node shape is kept) so that tests and benches
+    run in reasonable time while preserving the topology shape.
+    """
+    nodes = max(2, round(24 * scale))
+    return Machine(num_nodes=nodes, cores_per_node=8,
+                   name="SGI-UV2000({}n)".format(nodes))
+
+
+def opteron_6282(scale=1.0):
+    """The k-means test system: AMD Opteron 6282 SE, 64 cores, 8 nodes."""
+    nodes = max(2, round(8 * scale))
+    return Machine(num_nodes=nodes, cores_per_node=8,
+                   name="AMD-Opteron-6282({}n)".format(nodes))

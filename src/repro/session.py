@@ -1,0 +1,137 @@
+"""Analysis sessions: the interactive state around a trace.
+
+The GUI of the paper keeps per-analysis state beyond the trace itself:
+the current zoom/scroll position, the active filters, the configured
+derived metrics (Fig. 1 box 5) and the user's annotations (Section
+VI-C, explicitly designed for sharing between colleagues).  An
+:class:`AnalysisSession` bundles that state, provides navigation with
+history (back/forward, like the GUI's zoom stack), and persists
+everything *except the trace* to a JSON file — matching the paper's
+point that annotations (and by extension the analysis setup) are
+saved independently from the trace file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from .core.annotations import Annotation, AnnotationStore
+from .core.derived import DerivedMetricMenu
+from .render.timeline import TimelineView
+
+
+class AnalysisSession:
+    """A trace plus the interactive state of one analysis."""
+
+    FORMAT_VERSION = 1
+
+    def __init__(self, trace, width=1024, height=256):
+        self.trace = trace
+        self.view = TimelineView.fit(trace, width, height)
+        self.annotations = AnnotationStore()
+        self.metrics = DerivedMetricMenu()
+        self._history: List[TimelineView] = []
+        self._future: List[TimelineView] = []
+
+    # -- navigation ---------------------------------------------------
+    def _move(self, view):
+        self._history.append(self.view)
+        self._future.clear()
+        self.view = view
+        return view
+
+    def zoom(self, factor, center=None):
+        """Zoom the timeline; the previous view goes on the history."""
+        return self._move(self.view.zoom(factor, center))
+
+    def scroll(self, fraction):
+        return self._move(self.view.scroll(fraction))
+
+    def goto(self, start, end):
+        """Jump to an explicit interval (e.g. an anomaly's span)."""
+        from dataclasses import replace
+        return self._move(replace(self.view, start=int(start),
+                                  end=int(end)))
+
+    def back(self):
+        """Undo the last navigation step; returns the restored view."""
+        if not self._history:
+            return self.view
+        self._future.append(self.view)
+        self.view = self._history.pop()
+        return self.view
+
+    def forward(self):
+        if not self._future:
+            return self.view
+        self._history.append(self.view)
+        self.view = self._future.pop()
+        return self.view
+
+    def reset_view(self):
+        return self._move(TimelineView.fit(self.trace, self.view.width,
+                                           self.view.height))
+
+    # -- annotations ----------------------------------------------------
+    def annotate(self, text, timestamp=None, core=None, author=""):
+        """Drop an annotation at a timestamp (default: view center)."""
+        if timestamp is None:
+            timestamp = (self.view.start + self.view.end) // 2
+        note = Annotation(timestamp=int(timestamp), text=text, core=core,
+                          author=author)
+        self.annotations.add(note)
+        return note
+
+    def visible_annotations(self):
+        return self.annotations.in_interval(self.view.start,
+                                            self.view.end)
+
+    # -- anomaly-driven navigation ----------------------------------------
+    def goto_anomaly(self, anomaly, margin=0.25):
+        """Frame an :class:`Anomaly` with some context around it."""
+        span = max(anomaly.end - anomaly.start, 1)
+        pad = int(span * margin)
+        return self.goto(anomaly.start - pad, anomaly.end + pad)
+
+    # -- persistence ----------------------------------------------------
+    def save(self, path):
+        """Persist view, history, annotations and metric menu (not the
+        trace) to a JSON session file."""
+        payload = {
+            "version": self.FORMAT_VERSION,
+            "view": {"start": self.view.start, "end": self.view.end,
+                     "width": self.view.width,
+                     "height": self.view.height},
+            "history": [{"start": view.start, "end": view.end}
+                        for view in self._history],
+            "annotations": [note.to_dict()
+                            for note in self.annotations],
+            "metrics": self.metrics.to_config(),
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+
+    @classmethod
+    def load(cls, path, trace):
+        """Restore a session file against a (re-)loaded trace."""
+        with open(path) as handle:
+            payload = json.load(handle)
+        if payload.get("version") != cls.FORMAT_VERSION:
+            raise ValueError("unsupported session file version")
+        view = payload["view"]
+        session = cls(trace, width=view["width"], height=view["height"])
+        from dataclasses import replace
+        session.view = replace(session.view, start=view["start"],
+                               end=view["end"])
+        session._history = [
+            replace(session.view, start=entry["start"],
+                    end=entry["end"])
+            for entry in payload.get("history", [])
+        ]
+        session.annotations = AnnotationStore(
+            Annotation.from_dict(entry)
+            for entry in payload.get("annotations", []))
+        session.metrics = DerivedMetricMenu.from_config(
+            payload.get("metrics", {}))
+        return session

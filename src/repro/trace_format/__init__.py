@@ -1,0 +1,17 @@
+"""Binary trace format with transparent compression (Section VI-A)."""
+
+from .compression import codec_for_path, open_trace_file
+from .format import FormatError, MAGIC, RecordTag, VERSION
+from .paraver import export_paraver
+from .reader import read_trace, read_trace_stream
+from .streaming import (StreamingStatistics, split_time_window,
+                        stream_records, streaming_statistics,
+                        streaming_task_histogram)
+from .writer import TraceWriter, write_trace
+
+__all__ = ["codec_for_path", "open_trace_file", "FormatError", "MAGIC",
+           "RecordTag", "VERSION", "export_paraver", "read_trace",
+           "read_trace_stream", "StreamingStatistics",
+           "split_time_window", "stream_records",
+           "streaming_statistics", "streaming_task_histogram",
+           "TraceWriter", "write_trace"]

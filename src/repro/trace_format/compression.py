@@ -1,0 +1,39 @@
+"""Transparent compression for trace files.
+
+Aftermath can directly open traces compressed with standard GNU/Linux
+tools (gzip, bzip2, xz), decompressing through a pipe.  The
+reproduction maps the same codecs onto the standard library and selects
+the codec from the file suffix, so ``open_trace_file("trace.ost.xz")``
+just works.
+"""
+
+from __future__ import annotations
+
+import bz2
+import gzip
+import lzma
+
+_OPENERS = {
+    ".gz": gzip.open,
+    ".bz2": bz2.open,
+    ".xz": lzma.open,
+}
+
+
+def codec_for_path(path):
+    """The codec suffix of ``path`` (``".gz"`` etc.) or ``None``."""
+    lowered = str(path).lower()
+    for suffix in _OPENERS:
+        if lowered.endswith(suffix):
+            return suffix
+    return None
+
+
+def open_trace_file(path, mode="rb"):
+    """Open a possibly-compressed trace file as a binary stream."""
+    if "b" not in mode:
+        raise ValueError("trace files are binary; use a 'b' mode")
+    codec = codec_for_path(path)
+    if codec is None:
+        return open(path, mode)
+    return _OPENERS[codec](path, mode)

@@ -1,0 +1,74 @@
+"""Binary trace format: record tags and encodings (Section VI-A).
+
+Aftermath traces are organized as streams of data structures: events
+(state changes, hardware counters, communication and discrete events),
+topological information about the machine, counter descriptions and the
+NUMA placement of memory regions.  Design properties reproduced here:
+
+* records may appear in *any order* — only the per-core timestamp order
+  of events must hold, so workers can flush buffers independently
+  without a global sort at collection time;
+* the format is *incremental*: any record type may be missing, and
+  analyses degrade gracefully (no accesses -> no locality views);
+* redundancy is minimized: region placement is stored once per region,
+  not per access;
+* data is binary, and files may be compressed (the reproduction uses
+  the gzip/bzip2/xz codecs from the standard library, standing in for
+  the external tools the paper pipes through).
+
+Every record is a fixed header byte (the record tag) followed by a
+struct-packed payload; variable-size fields (strings, page arrays) are
+length-prefixed.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+
+MAGIC = b"AFTM"
+VERSION = 1
+
+HEADER = struct.Struct("<4sI")
+
+
+class RecordTag(enum.IntEnum):
+    """One tag per trace data structure."""
+
+    TOPOLOGY = 1
+    COUNTER_DESCRIPTION = 2
+    TASK_TYPE = 3
+    REGION = 4
+    STATE_INTERVAL = 5
+    TASK_EXECUTION = 6
+    COUNTER_SAMPLE = 7
+    DISCRETE_EVENT = 8
+    COMM_EVENT = 9
+    MEMORY_ACCESS = 10
+
+
+TAG = struct.Struct("<B")
+
+# Fixed payloads (strings / arrays handled separately).
+TOPOLOGY = struct.Struct("<II")                 # nodes, cores per node
+COUNTER_DESCRIPTION = struct.Struct("<IB")      # id, monotone
+TASK_TYPE = struct.Struct("<IQI")               # id, address, line
+REGION = struct.Struct("<IQQI")                 # id, address, size, pages
+STATE_INTERVAL = struct.Struct("<IIqq")         # core, state, start, end
+TASK_EXECUTION = struct.Struct("<qIIqq")        # task, type, core, t0, t1
+COUNTER_SAMPLE = struct.Struct("<IIqd")         # core, counter, t, value
+DISCRETE_EVENT = struct.Struct("<IIqq")         # core, kind, t, payload
+COMM_EVENT = struct.Struct("<IIqqq")            # src, dst, t, size, task
+MEMORY_ACCESS = struct.Struct("<qIqqBq")        # task, core, addr, size,
+                                                # is_write, t
+STRING_LENGTH = struct.Struct("<H")
+PAGE_NODE = struct.Struct("<i")
+
+
+def pack_string(text):
+    data = text.encode("utf-8")[:0xFFFF]
+    return STRING_LENGTH.pack(len(data)) + data
+
+
+class FormatError(ValueError):
+    """Raised on malformed trace files."""

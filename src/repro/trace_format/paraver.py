@@ -1,0 +1,96 @@
+"""Paraver trace export.
+
+Earlier versions of OpenStream wrote traces in PARAVER's native format
+(Section VII); Aftermath replaced that path with its own format, but
+interoperability with the Paraver/BSC tool family remains useful.
+This module exports an in-memory trace to the textual Paraver ``.prv``
+format (plus the ``.pcf`` configuration naming states and events) so a
+trace produced here can be opened in wxParaver.
+
+The mapping follows Paraver conventions:
+
+* one application with one task and N threads (one per core);
+* state records (type 1): ``1:cpu:appl:task:thread:begin:end:state``;
+* event records (type 2) at task start carrying the task type, and at
+  discrete events carrying the event kind;
+* state ids are offset by 1 (Paraver reserves 0 for idle).
+"""
+
+from __future__ import annotations
+
+from ..core.events import STATE_NAMES, DiscreteEventKind, WorkerState
+
+#: Paraver event type ids used by the export.
+EVENT_TASK_TYPE = 60000001
+EVENT_DISCRETE = 60000002
+
+
+def export_paraver(trace, path):
+    """Write ``path`` (.prv) and ``path.replace('.prv', '.pcf')``.
+
+    Returns the number of records written to the .prv body.
+    """
+    if not str(path).endswith(".prv"):
+        raise ValueError("Paraver traces use the .prv suffix")
+    records = []
+    for core in range(trace.num_cores):
+        lane = trace.states.core_slice(core)
+        columns = trace.states.columns
+        for index in range(lane.start, lane.stop):
+            records.append((int(columns["start"][index]), 1,
+                            "1:{cpu}:1:1:{thread}:{begin}:{end}:{state}"
+                            .format(cpu=core + 1, thread=core + 1,
+                                    begin=int(columns["start"][index]),
+                                    end=int(columns["end"][index]),
+                                    state=int(columns["state"][index])
+                                    + 1)))
+        lane = trace.tasks.core_slice(core)
+        columns = trace.tasks.columns
+        for index in range(lane.start, lane.stop):
+            records.append((int(columns["start"][index]), 2,
+                            "2:{cpu}:1:1:{thread}:{time}:{type}:{value}"
+                            .format(cpu=core + 1, thread=core + 1,
+                                    time=int(columns["start"][index]),
+                                    type=EVENT_TASK_TYPE,
+                                    value=int(columns["type_id"][index])
+                                    + 1)))
+        lane = trace.discrete.core_slice(core)
+        columns = trace.discrete.columns
+        for index in range(lane.start, lane.stop):
+            records.append((int(columns["timestamp"][index]), 2,
+                            "2:{cpu}:1:1:{thread}:{time}:{type}:{value}"
+                            .format(cpu=core + 1, thread=core + 1,
+                                    time=int(
+                                        columns["timestamp"][index]),
+                                    type=EVENT_DISCRETE,
+                                    value=int(columns["kind"][index])
+                                    + 1)))
+    records.sort(key=lambda record: (record[0], record[1]))
+
+    duration = max(trace.end, 1)
+    header = ("#Paraver (01/01/2016 at 00:00):{duration}_ns:"
+              "1({cpus}):1:1({threads}:1)\n").format(
+                  duration=duration, cpus=trace.num_cores,
+                  threads=trace.num_cores)
+    with open(path, "w") as handle:
+        handle.write(header)
+        for __, __priority, line in records:
+            handle.write(line + "\n")
+
+    pcf_path = str(path)[:-4] + ".pcf"
+    with open(pcf_path, "w") as handle:
+        handle.write("DEFAULT_OPTIONS\n\nLEVEL\tTHREAD\nUNITS\tNANOSEC\n")
+        handle.write("\nSTATES\n")
+        handle.write("0\tIdle (reserved)\n")
+        for state in WorkerState:
+            handle.write("{}\t{}\n".format(int(state) + 1,
+                                           STATE_NAMES[state]))
+        handle.write("\nEVENT_TYPE\n0\t{}\tTask type\nVALUES\n"
+                     .format(EVENT_TASK_TYPE))
+        for info in trace.task_types:
+            handle.write("{}\t{}\n".format(info.type_id + 1, info.name))
+        handle.write("\nEVENT_TYPE\n0\t{}\tDiscrete event\nVALUES\n"
+                     .format(EVENT_DISCRETE))
+        for kind in DiscreteEventKind:
+            handle.write("{}\t{}\n".format(int(kind) + 1, kind.name))
+    return len(records)

@@ -1,0 +1,130 @@
+"""Trace file reader.
+
+Streams records from a (possibly compressed) trace file into a
+:class:`repro.core.trace.TraceBuilder`.  Structures may appear in any
+order; unknown record types raise a :class:`FormatError` (the format is
+versioned, so unknown tags indicate corruption rather than extensions).
+
+The reader implements the format's *incremental* philosophy: a trace
+that lacks memory accesses still loads and supports duration- and
+counter-based analyses; a trace without counter samples still renders
+every timeline mode (Section VI-A).
+"""
+
+from __future__ import annotations
+
+from ..core.events import (CounterDescription, RegionInfo, TaskTypeInfo,
+                           TopologyInfo)
+from ..core.trace import TraceBuilder
+from . import format as fmt
+from .compression import open_trace_file
+
+
+class _Stream:
+    """Buffered exact-size reads with EOF detection."""
+
+    def __init__(self, stream):
+        self.stream = stream
+
+    def exactly(self, count):
+        data = self.stream.read(count)
+        if len(data) != count:
+            raise fmt.FormatError("truncated trace file")
+        return data
+
+    def maybe_byte(self):
+        data = self.stream.read(1)
+        return data if data else None
+
+    def string(self):
+        (length,) = fmt.STRING_LENGTH.unpack(
+            self.exactly(fmt.STRING_LENGTH.size))
+        return self.exactly(length).decode("utf-8")
+
+
+def read_trace(path):
+    """Load a trace file and return the indexed :class:`Trace`."""
+    with open_trace_file(path, "rb") as raw:
+        return read_trace_stream(raw)
+
+
+def read_trace_stream(raw):
+    stream = _Stream(raw)
+    magic, version = fmt.HEADER.unpack(stream.exactly(fmt.HEADER.size))
+    if magic != fmt.MAGIC:
+        raise fmt.FormatError("not an Aftermath trace (bad magic)")
+    if version != fmt.VERSION:
+        raise fmt.FormatError(
+            "unsupported trace version {}".format(version))
+    topology = None
+    counters = []
+    task_types = []
+    regions = []
+    events = []
+    while True:
+        tag_byte = stream.maybe_byte()
+        if tag_byte is None:
+            break
+        (tag,) = fmt.TAG.unpack(tag_byte)
+        if tag == fmt.RecordTag.TOPOLOGY:
+            nodes, per_node = fmt.TOPOLOGY.unpack(
+                stream.exactly(fmt.TOPOLOGY.size))
+            name = stream.string()
+            topology = TopologyInfo(num_nodes=nodes,
+                                    cores_per_node=per_node, name=name)
+        elif tag == fmt.RecordTag.COUNTER_DESCRIPTION:
+            counter_id, monotone = fmt.COUNTER_DESCRIPTION.unpack(
+                stream.exactly(fmt.COUNTER_DESCRIPTION.size))
+            counters.append(CounterDescription(
+                counter_id=counter_id, name=stream.string(),
+                monotone=bool(monotone)))
+        elif tag == fmt.RecordTag.TASK_TYPE:
+            type_id, address, line = fmt.TASK_TYPE.unpack(
+                stream.exactly(fmt.TASK_TYPE.size))
+            name = stream.string()
+            source = stream.string()
+            task_types.append(TaskTypeInfo(
+                type_id=type_id, name=name, address=address,
+                source_file=source, source_line=line))
+        elif tag == fmt.RecordTag.REGION:
+            region_id, address, size, pages = fmt.REGION.unpack(
+                stream.exactly(fmt.REGION.size))
+            nodes = tuple(
+                fmt.PAGE_NODE.unpack(stream.exactly(fmt.PAGE_NODE.size))[0]
+                for __ in range(pages))
+            name = stream.string()
+            regions.append(RegionInfo(region_id=region_id, address=address,
+                                      size=size, page_nodes=nodes,
+                                      name=name))
+        elif tag in _EVENT_DECODERS:
+            structure, record = _EVENT_DECODERS[tag]
+            events.append((record,
+                           structure.unpack(stream.exactly(structure.size))))
+        else:
+            raise fmt.FormatError("unknown record tag {}".format(tag))
+    if topology is None:
+        raise fmt.FormatError("trace has no topology record")
+    builder = TraceBuilder(topology)
+    for description in counters:
+        # Preserve the ids stored in the file.
+        while len(builder.counter_descriptions) < description.counter_id:
+            builder.describe_counter("__unused_{}".format(
+                len(builder.counter_descriptions)))
+        builder.counter_descriptions.append(description)
+    for info in task_types:
+        builder.describe_task_type(info)
+    for info in regions:
+        builder.describe_region(info)
+    for record, fields in events:
+        getattr(builder, record)(*fields)
+    return builder.build()
+
+
+_EVENT_DECODERS = {
+    fmt.RecordTag.STATE_INTERVAL: (fmt.STATE_INTERVAL, "state_interval"),
+    fmt.RecordTag.TASK_EXECUTION: (fmt.TASK_EXECUTION, "task_execution"),
+    fmt.RecordTag.COUNTER_SAMPLE: (fmt.COUNTER_SAMPLE, "counter_sample"),
+    fmt.RecordTag.DISCRETE_EVENT: (fmt.DISCRETE_EVENT, "discrete_event"),
+    fmt.RecordTag.COMM_EVENT: (fmt.COMM_EVENT, "comm_event"),
+    fmt.RecordTag.MEMORY_ACCESS: (fmt.MEMORY_ACCESS, "memory_access"),
+}

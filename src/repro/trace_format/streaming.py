@@ -1,0 +1,253 @@
+"""Out-of-core trace processing.
+
+The paper's conclusion announces work on "the out-of-core processing
+of large traces": Aftermath loads traces of several gigabytes into
+memory, but larger ones need streaming.  This module processes a trace
+file record-by-record through constant-memory accumulators, never
+materializing the in-memory :class:`Trace`:
+
+* :func:`stream_records` — iterate (record_kind, fields) pairs;
+* :class:`StreamingStatistics` — one-pass per-state times, task
+  counts/durations per type, counter extremes and time bounds;
+* :func:`streaming_state_summary` / :func:`streaming_task_histogram` —
+  the common statistics views computed out-of-core;
+* :func:`split_time_window` — extract a time window of a huge trace
+  into a small in-memory :class:`Trace` for interactive analysis.
+
+Accumulators rely only on the format's ordering guarantee (per-core
+timestamp order) and tolerate arbitrary record interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..core.events import (CounterDescription, RegionInfo, TaskTypeInfo,
+                           TopologyInfo)
+from ..core.trace import TraceBuilder
+from . import format as fmt
+from .compression import open_trace_file
+from .reader import _EVENT_DECODERS, _Stream
+
+
+def stream_records(path):
+    """Yield ``(kind, fields)`` for every record of a trace file.
+
+    ``kind`` is the builder method name for events (for example
+    ``"state_interval"``) or ``"topology"`` / ``"counter_description"``
+    / ``"task_type"`` / ``"region"`` for static records, whose
+    ``fields`` are the corresponding dataclasses.  Memory use is
+    constant regardless of the trace size.
+    """
+    with open_trace_file(path, "rb") as raw:
+        stream = _Stream(raw)
+        magic, version = fmt.HEADER.unpack(stream.exactly(
+            fmt.HEADER.size))
+        if magic != fmt.MAGIC:
+            raise fmt.FormatError("not an Aftermath trace (bad magic)")
+        if version != fmt.VERSION:
+            raise fmt.FormatError("unsupported trace version {}"
+                                  .format(version))
+        while True:
+            tag_byte = stream.maybe_byte()
+            if tag_byte is None:
+                return
+            (tag,) = fmt.TAG.unpack(tag_byte)
+            if tag == fmt.RecordTag.TOPOLOGY:
+                nodes, per_node = fmt.TOPOLOGY.unpack(
+                    stream.exactly(fmt.TOPOLOGY.size))
+                yield "topology", TopologyInfo(
+                    num_nodes=nodes, cores_per_node=per_node,
+                    name=stream.string())
+            elif tag == fmt.RecordTag.COUNTER_DESCRIPTION:
+                counter_id, monotone = fmt.COUNTER_DESCRIPTION.unpack(
+                    stream.exactly(fmt.COUNTER_DESCRIPTION.size))
+                yield "counter_description", CounterDescription(
+                    counter_id=counter_id, name=stream.string(),
+                    monotone=bool(monotone))
+            elif tag == fmt.RecordTag.TASK_TYPE:
+                type_id, address, line = fmt.TASK_TYPE.unpack(
+                    stream.exactly(fmt.TASK_TYPE.size))
+                name = stream.string()
+                source = stream.string()
+                yield "task_type", TaskTypeInfo(
+                    type_id=type_id, name=name, address=address,
+                    source_file=source, source_line=line)
+            elif tag == fmt.RecordTag.REGION:
+                region_id, address, size, pages = fmt.REGION.unpack(
+                    stream.exactly(fmt.REGION.size))
+                nodes = tuple(fmt.PAGE_NODE.unpack(
+                    stream.exactly(fmt.PAGE_NODE.size))[0]
+                    for __ in range(pages))
+                yield "region", RegionInfo(
+                    region_id=region_id, address=address, size=size,
+                    page_nodes=nodes, name=stream.string())
+            elif tag in _EVENT_DECODERS:
+                structure, record = _EVENT_DECODERS[tag]
+                yield record, structure.unpack(
+                    stream.exactly(structure.size))
+            else:
+                raise fmt.FormatError("unknown record tag {}"
+                                      .format(tag))
+
+
+@dataclass
+class StreamingStatistics:
+    """Constant-memory accumulator over one pass of a trace file."""
+
+    topology: Optional[TopologyInfo] = None
+    records: int = 0
+    begin: Optional[int] = None
+    end: Optional[int] = None
+    state_cycles: Dict[int, int] = field(default_factory=dict)
+    tasks_per_type: Dict[int, int] = field(default_factory=dict)
+    duration_per_type: Dict[int, int] = field(default_factory=dict)
+    counter_extremes: Dict[int, Tuple[float, float]] = \
+        field(default_factory=dict)
+    type_names: Dict[int, str] = field(default_factory=dict)
+    memory_accesses: int = 0
+    bytes_accessed: int = 0
+
+    def _stretch(self, start, end):
+        self.begin = start if self.begin is None else min(self.begin,
+                                                          start)
+        self.end = end if self.end is None else max(self.end, end)
+
+    def consume(self, kind, fields):
+        self.records += 1
+        if kind == "topology":
+            self.topology = fields
+        elif kind == "task_type":
+            self.type_names[fields.type_id] = fields.name
+        elif kind == "state_interval":
+            __, state, start, end = fields
+            self.state_cycles[state] = (self.state_cycles.get(state, 0)
+                                        + end - start)
+            self._stretch(start, end)
+        elif kind == "task_execution":
+            __, type_id, __core, start, end = fields
+            self.tasks_per_type[type_id] = (
+                self.tasks_per_type.get(type_id, 0) + 1)
+            self.duration_per_type[type_id] = (
+                self.duration_per_type.get(type_id, 0) + end - start)
+            self._stretch(start, end)
+        elif kind == "counter_sample":
+            __, counter_id, timestamp, value = fields
+            lo, hi = self.counter_extremes.get(counter_id,
+                                               (value, value))
+            self.counter_extremes[counter_id] = (min(lo, value),
+                                                 max(hi, value))
+            self._stretch(timestamp, timestamp)
+        elif kind == "memory_access":
+            self.memory_accesses += 1
+            self.bytes_accessed += fields[3]
+
+    @property
+    def total_tasks(self):
+        return sum(self.tasks_per_type.values())
+
+    def mean_duration(self, type_id):
+        count = self.tasks_per_type.get(type_id, 0)
+        if count == 0:
+            return 0.0
+        return self.duration_per_type[type_id] / count
+
+    def describe(self):
+        lines = ["streamed {} records".format(self.records)]
+        if self.begin is not None:
+            lines.append("time range [{} .. {}]".format(self.begin,
+                                                        self.end))
+        for type_id in sorted(self.tasks_per_type):
+            lines.append("  type {}: {} tasks, mean {:.0f} cycles"
+                         .format(self.type_names.get(type_id, type_id),
+                                 self.tasks_per_type[type_id],
+                                 self.mean_duration(type_id)))
+        return "\n".join(lines)
+
+
+def streaming_statistics(path):
+    """One out-of-core pass: summary statistics of a trace file."""
+    statistics = StreamingStatistics()
+    for kind, fields in stream_records(path):
+        statistics.consume(kind, fields)
+    return statistics
+
+
+def streaming_task_histogram(path, bins, value_range):
+    """Out-of-core task-duration histogram with fixed bin edges.
+
+    ``value_range = (lo, hi)`` must be given up front (a streaming pass
+    cannot know the duration range in advance); durations outside it
+    are clamped into the edge bins.  Returns ``(edges, counts)``.
+    """
+    import numpy as np
+
+    if bins < 1:
+        raise ValueError("need at least one bin")
+    lo, hi = value_range
+    if hi <= lo:
+        raise ValueError("empty histogram range")
+    edges = np.linspace(lo, hi, bins + 1)
+    counts = np.zeros(bins, dtype=np.int64)
+    width = (hi - lo) / bins
+    for kind, fields in stream_records(path):
+        if kind != "task_execution":
+            continue
+        duration = fields[4] - fields[3]
+        index = int((duration - lo) / width)
+        counts[min(max(index, 0), bins - 1)] += 1
+    return edges, counts
+
+
+def split_time_window(path, start, end):
+    """Extract [start, end) of a huge trace into an in-memory Trace.
+
+    Static records are kept in full; event records are dropped unless
+    they overlap the window.  This is the out-of-core navigation
+    pattern: stream once, then interact with the small window.
+    """
+    def add_static(builder, kind, fields):
+        if kind == "counter_description":
+            while len(builder.counter_descriptions) < fields.counter_id:
+                builder.describe_counter("__unused_{}".format(
+                    len(builder.counter_descriptions)))
+            builder.counter_descriptions.append(fields)
+        elif kind == "task_type":
+            builder.describe_task_type(fields)
+        else:
+            builder.describe_region(fields)
+
+    builder = None
+    pending_static = []
+    for kind, fields in stream_records(path):
+        if kind == "topology":
+            builder = TraceBuilder(fields)
+            for static_kind, payload in pending_static:
+                add_static(builder, static_kind, payload)
+            continue
+        if kind in ("counter_description", "task_type", "region"):
+            if builder is None:
+                pending_static.append((kind, fields))
+            else:
+                add_static(builder, kind, fields)
+            continue
+        if builder is None:
+            raise fmt.FormatError("event record before topology")
+        if kind in ("state_interval", "task_execution"):
+            ev_start, ev_end = fields[-2], fields[-1]
+            if ev_start < end and ev_end > start:
+                getattr(builder, kind)(*fields)
+        elif kind in ("counter_sample", "discrete_event"):
+            timestamp = fields[2]
+            if start <= timestamp < end:
+                getattr(builder, kind)(*fields)
+        elif kind == "comm_event":
+            if start <= fields[2] < end:
+                builder.comm_event(*fields)
+        elif kind == "memory_access":
+            if start <= fields[5] < end:
+                builder.memory_access(*fields)
+    if builder is None:
+        raise fmt.FormatError("trace has no topology record")
+    return builder.build()

@@ -1,0 +1,148 @@
+"""Trace file writer.
+
+Serializes an in-memory :class:`repro.core.trace.Trace` (or raw records)
+to the binary format.  Event records are written per core in timestamp
+order — satisfying the format's only ordering requirement — but records
+of different cores and different types are interleaved freely, as the
+format allows (Section VI-A).
+"""
+
+from __future__ import annotations
+
+from . import format as fmt
+from .compression import open_trace_file
+
+
+class TraceWriter:
+    """Low-level record writer over a binary stream."""
+
+    def __init__(self, stream):
+        self.stream = stream
+        self.records_written = 0
+        stream.write(fmt.HEADER.pack(fmt.MAGIC, fmt.VERSION))
+
+    def _record(self, tag, payload):
+        self.stream.write(fmt.TAG.pack(int(tag)) + payload)
+        self.records_written += 1
+
+    def topology(self, info):
+        self._record(fmt.RecordTag.TOPOLOGY,
+                     fmt.TOPOLOGY.pack(info.num_nodes, info.cores_per_node)
+                     + fmt.pack_string(info.name))
+
+    def counter_description(self, description):
+        self._record(fmt.RecordTag.COUNTER_DESCRIPTION,
+                     fmt.COUNTER_DESCRIPTION.pack(
+                         description.counter_id,
+                         1 if description.monotone else 0)
+                     + fmt.pack_string(description.name))
+
+    def task_type(self, info):
+        self._record(fmt.RecordTag.TASK_TYPE,
+                     fmt.TASK_TYPE.pack(info.type_id, info.address,
+                                        info.source_line)
+                     + fmt.pack_string(info.name)
+                     + fmt.pack_string(info.source_file))
+
+    def region(self, info):
+        payload = fmt.REGION.pack(info.region_id, info.address, info.size,
+                                  len(info.page_nodes))
+        payload += b"".join(fmt.PAGE_NODE.pack(node)
+                            for node in info.page_nodes)
+        payload += fmt.pack_string(info.name)
+        self._record(fmt.RecordTag.REGION, payload)
+
+    def state_interval(self, core, state, start, end):
+        self._record(fmt.RecordTag.STATE_INTERVAL,
+                     fmt.STATE_INTERVAL.pack(core, state, start, end))
+
+    def task_execution(self, task_id, type_id, core, start, end):
+        self._record(fmt.RecordTag.TASK_EXECUTION,
+                     fmt.TASK_EXECUTION.pack(task_id, type_id, core,
+                                             start, end))
+
+    def counter_sample(self, core, counter_id, timestamp, value):
+        self._record(fmt.RecordTag.COUNTER_SAMPLE,
+                     fmt.COUNTER_SAMPLE.pack(core, counter_id, timestamp,
+                                             value))
+
+    def discrete_event(self, core, kind, timestamp, payload):
+        self._record(fmt.RecordTag.DISCRETE_EVENT,
+                     fmt.DISCRETE_EVENT.pack(core, kind, timestamp,
+                                             payload))
+
+    def comm_event(self, src_core, dst_core, timestamp, size, task_id):
+        self._record(fmt.RecordTag.COMM_EVENT,
+                     fmt.COMM_EVENT.pack(src_core, dst_core, timestamp,
+                                         size, task_id))
+
+    def memory_access(self, task_id, core, address, size, is_write,
+                      timestamp):
+        self._record(fmt.RecordTag.MEMORY_ACCESS,
+                     fmt.MEMORY_ACCESS.pack(task_id, core, address, size,
+                                            1 if is_write else 0,
+                                            timestamp))
+
+
+def write_trace(trace, path):
+    """Serialize a :class:`Trace` to ``path`` (compressed if the suffix
+    says so).  Returns the number of records written."""
+    with open_trace_file(path, "wb") as stream:
+        writer = TraceWriter(stream)
+        writer.topology(trace.topology)
+        for description in trace.counter_descriptions:
+            writer.counter_description(description)
+        for info in trace.task_types:
+            writer.task_type(info)
+        for info in trace.regions:
+            writer.region(info)
+        states = trace.states
+        for core in range(trace.num_cores):
+            lane = states.core_slice(core)
+            columns = states.columns
+            for index in range(lane.start, lane.stop):
+                writer.state_interval(int(columns["core"][index]),
+                                      int(columns["state"][index]),
+                                      int(columns["start"][index]),
+                                      int(columns["end"][index]))
+        tasks = trace.tasks
+        for core in range(trace.num_cores):
+            lane = tasks.core_slice(core)
+            columns = tasks.columns
+            for index in range(lane.start, lane.stop):
+                writer.task_execution(int(columns["task_id"][index]),
+                                      int(columns["type_id"][index]),
+                                      int(columns["core"][index]),
+                                      int(columns["start"][index]),
+                                      int(columns["end"][index]))
+        for (core, counter_id), (timestamps, values) in sorted(
+                trace.counter_series.items()):
+            for index in range(len(timestamps)):
+                writer.counter_sample(core, counter_id,
+                                      int(timestamps[index]),
+                                      float(values[index]))
+        discrete = trace.discrete
+        for core in range(trace.num_cores):
+            lane = discrete.core_slice(core)
+            columns = discrete.columns
+            for index in range(lane.start, lane.stop):
+                writer.discrete_event(int(columns["core"][index]),
+                                      int(columns["kind"][index]),
+                                      int(columns["timestamp"][index]),
+                                      int(columns["payload"][index]))
+        comm = trace.comm
+        for index in range(len(comm["timestamp"])):
+            writer.comm_event(int(comm["src_core"][index]),
+                              int(comm["dst_core"][index]),
+                              int(comm["timestamp"][index]),
+                              int(comm["size"][index]),
+                              int(comm["task_id"][index]))
+        accesses = trace.accesses
+        for index in range(len(accesses["task_id"])):
+            writer.memory_access(int(accesses["task_id"][index]),
+                                 int(accesses["core"][index]),
+                                 int(accesses["address"][index]),
+                                 int(accesses["size"][index]),
+                                 bool(accesses["is_write"][index]),
+                                 int(accesses["timestamp"][index]))
+        return writer.records_written

@@ -1,0 +1,13 @@
+"""The paper's applications (seidel, k-means) plus synthetic generators."""
+
+from .cholesky import CholeskyConfig, build_cholesky
+from .kmeans import KmeansConfig, build_kmeans
+from .pipeline import PipelineConfig, build_pipeline
+from .openmp import OpenMPProgram, build_fibonacci, build_mergesort
+from .seidel import SeidelConfig, build_seidel
+from .synthetic import build_chain, build_fork_join, build_random_dag
+
+__all__ = ["CholeskyConfig", "build_cholesky", "PipelineConfig",
+           "build_pipeline", "KmeansConfig", "build_kmeans", "OpenMPProgram",
+           "build_fibonacci", "build_mergesort", "SeidelConfig", "build_seidel",
+           "build_chain", "build_fork_join", "build_random_dag"]

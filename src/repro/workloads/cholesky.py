@@ -1,0 +1,99 @@
+"""Blocked Cholesky factorization: the classic dependent-task DAG.
+
+The paper's introduction motivates dependent-task models by their
+ability to express "arbitrary dependence patterns ... to exploit task,
+pipeline and data parallelism"; blocked Cholesky is the canonical
+example used by OpenStream, StarSs and DAGuE alike (all cited in the
+paper).  Its four kernels (POTRF on the diagonal, TRSM on the panel,
+SYRK/GEMM on the trailing matrix) form a DAG whose typemap rendering is
+the showcase for Aftermath's task-type mode.
+
+Dependence structure (per step k over an N x N grid of blocks):
+
+* ``potrf(k)`` reads/writes A[k][k];
+* ``trsm(k, i)`` (i > k) reads A[k][k], reads/writes A[i][k];
+* ``syrk(k, i)`` reads A[i][k], reads/writes A[i][i];
+* ``gemm(k, i, j)`` (k < j < i) reads A[i][k], A[j][k], reads/writes
+  A[i][j].
+
+All tasks write the block they update, so the last-writer derivation
+recovers exactly these edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..runtime.program import Program
+
+DOUBLE = 8
+
+
+@dataclass
+class CholeskyConfig:
+    """Problem shape: an ``blocks x blocks`` grid of square tiles."""
+
+    blocks: int = 8
+    block_dim: int = 64
+    #: Cycles per element per kernel flavor (GEMM does 2n^3 flops etc.).
+    potrf_cycles_per_element: float = 12.0
+    trsm_cycles_per_element: float = 8.0
+    syrk_cycles_per_element: float = 6.0
+    gemm_cycles_per_element: float = 10.0
+
+    @property
+    def block_bytes(self):
+        return self.block_dim * self.block_dim * DOUBLE
+
+    @property
+    def block_elements(self):
+        return self.block_dim * self.block_dim
+
+
+def build_cholesky(machine, config=None, memory=None):
+    """Build the blocked-Cholesky task graph (lower triangle only)."""
+    config = config if config is not None else CholeskyConfig()
+    program = Program(machine, memory=memory, name="cholesky")
+    n = config.blocks
+    size = config.block_bytes
+    tiles = [[program.allocate(size, name="A_{}_{}".format(i, j))
+              for j in range(i + 1)] for i in range(n)]
+
+    init_work = int(0.5 * config.block_elements)
+    for i in range(n):
+        for j in range(i + 1):
+            program.spawn("chol_init", init_work,
+                          writes=[(tiles[i][j], 0, size)])
+
+    elements = config.block_elements
+    for k in range(n):
+        program.spawn(
+            "chol_potrf",
+            int(config.potrf_cycles_per_element * elements),
+            reads=[(tiles[k][k], 0, size)],
+            writes=[(tiles[k][k], 0, size)],
+            metadata={"k": k})
+        for i in range(k + 1, n):
+            program.spawn(
+                "chol_trsm",
+                int(config.trsm_cycles_per_element * elements),
+                reads=[(tiles[k][k], 0, size), (tiles[i][k], 0, size)],
+                writes=[(tiles[i][k], 0, size)],
+                metadata={"k": k, "i": i})
+        for i in range(k + 1, n):
+            program.spawn(
+                "chol_syrk",
+                int(config.syrk_cycles_per_element * elements),
+                reads=[(tiles[i][k], 0, size), (tiles[i][i], 0, size)],
+                writes=[(tiles[i][i], 0, size)],
+                metadata={"k": k, "i": i})
+            for j in range(k + 1, i):
+                program.spawn(
+                    "chol_gemm",
+                    int(config.gemm_cycles_per_element * elements),
+                    reads=[(tiles[i][k], 0, size),
+                           (tiles[j][k], 0, size),
+                           (tiles[i][j], 0, size)],
+                    writes=[(tiles[i][j], 0, size)],
+                    metadata={"k": k, "i": i, "j": j})
+    return program.finalize()

@@ -1,0 +1,203 @@
+"""The k-means benchmark: naive K-means clustering over blocked points.
+
+Reproduces the OpenStream data-mining application of Sections III-C and
+V: ``n`` multidimensional points are partitioned into ``m`` fixed-size
+blocks; every iteration ``i`` runs one *distance-calculation* task
+``k(i, j)`` per block, a tree-shaped *reduction* ``r(i, level, q)``
+computing the new cluster centers and detecting termination, and a
+tree-shaped *propagation* ``p(i, level, q)`` broadcasting the updated
+centers to the next iteration's distance tasks — the task graph of
+Fig. 11.
+
+Dynamic task creation: the distance and reduction tasks of iteration
+``i+1`` are created by the reduction root of iteration ``i`` (the task
+that detects non-termination), so tiny blocks incur the task-management
+overhead the paper observes for block sizes below 5000 points
+(Section III-C, Fig. 13j).
+
+Branch mispredictions (Section V): the inner loop conditionally updates
+the nearest cluster, and the misprediction rate depends on the data in
+each block.  Each block draws a per-point misprediction rate from a
+small mixture (blocks whose points sit near cluster boundaries
+mispredict more), yielding the multi-peak duration histogram of Fig. 16
+and the linear duration/misprediction relationship of Fig. 19
+(coefficient of determination 0.83).  ``optimize_branches=True`` applies
+the paper's fix — the update is made unconditional and the check
+hoisted out of the loop — collapsing both the mean and the spread.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..runtime.program import Program
+
+DOUBLE = 8
+
+
+@dataclass
+class KmeansConfig:
+    """Problem shape.  Paper values: ``num_points=4096 * 10**4``,
+    ``dims=10``, ``clusters=11`` on the 64-core Opteron."""
+
+    num_points: int = 1_024_000
+    dims: int = 10
+    clusters: int = 11
+    block_size: int = 10_000
+    iterations: int = 6
+    reduction_arity: int = 4
+    propagation_arity: int = 8
+    cycles_per_point_base: float = 680.0   # distance computation per point
+    mispredict_penalty: float = 20.0       # stall cycles per misprediction
+    #: Per-point misprediction rates of the block mixture (Fig. 16 peaks).
+    mispredict_modes: tuple = (4.0, 10.0, 16.0)
+    mispredict_mode_sigma: float = 0.6
+    duration_noise_sigma: float = 0.042     # relative noise on task work
+    optimize_branches: bool = False
+    optimized_mispredict_rate: float = 0.5
+    tree_task_cycles: int = 4000
+    init_cycles_per_point: float = 2.0
+    seed: int = 42
+
+    @property
+    def num_blocks(self):
+        return max(1, self.num_points // self.block_size)
+
+    @property
+    def block_bytes(self):
+        return self.block_size * self.dims * DOUBLE
+
+    @property
+    def centers_bytes(self):
+        return self.clusters * (self.dims + 1) * DOUBLE
+
+
+def _tree_levels(count, arity):
+    """Widths of a reduction tree from ``count`` leaves down to 1."""
+    widths = []
+    width = count
+    while width > 1:
+        width = (width + arity - 1) // arity
+        widths.append(width)
+    if not widths:
+        widths.append(1)
+    return widths
+
+
+def build_kmeans(machine, config=None, memory=None):
+    """Build the k-means task graph as a finalized :class:`Program`.
+
+    ``memory`` optionally supplies a pre-configured
+    :class:`MemoryManager` (e.g. with NUMA-oblivious placement).
+    """
+    config = config if config is not None else KmeansConfig()
+    rng = random.Random(config.seed)
+    program = Program(machine, memory=memory, name="kmeans")
+    m = config.num_blocks
+
+    points = [program.allocate(config.block_bytes,
+                               name="points_{}".format(index))
+              for index in range(m)]
+    init_work = int(config.init_cycles_per_point * config.block_size)
+    for index in range(m):
+        program.spawn("kmeans_init", init_work,
+                      writes=[(points[index], 0, config.block_bytes)])
+
+    # Per-block misprediction behaviour is a property of the data, fixed
+    # across iterations (each core executes long and short tasks,
+    # Fig. 17): blocks near cluster boundaries mispredict more.
+    if config.optimize_branches:
+        block_rates = [config.optimized_mispredict_rate] * m
+    else:
+        block_rates = [max(0.1, rng.gauss(rng.choice(
+            config.mispredict_modes), config.mispredict_mode_sigma))
+            for _ in range(m)]
+
+    initial_centers = program.allocate(config.centers_bytes,
+                                       name="centers_initial")
+    seed_task = program.spawn(
+        "kmeans_seed_centers", config.tree_task_cycles,
+        writes=[(initial_centers, 0, config.centers_bytes)])
+    creator = None    # iteration 0 tasks are created by the main program
+
+    center_leaves = [initial_centers]   # regions the k-tasks read from
+    for iteration in range(config.iterations):
+        accums = []
+        k_tasks = []
+        for j in range(m):
+            leaf = center_leaves[j % len(center_leaves)]
+            accum = program.allocate(
+                config.centers_bytes, name="accum_{}_{}".format(iteration, j))
+            mispredictions = int(block_rates[j] * config.block_size)
+            work = (config.cycles_per_point_base * config.block_size
+                    + config.mispredict_penalty * mispredictions)
+            work *= max(0.5, rng.gauss(1.0, config.duration_noise_sigma))
+            task = program.spawn(
+                "kmeans_distance", int(work),
+                reads=[(points[j], 0, config.block_bytes),
+                       (leaf, 0, config.centers_bytes)],
+                writes=[(accum, 0, config.centers_bytes)],
+                creator=creator,
+                counters={"branch_mispredictions": mispredictions},
+                metadata={"iteration": iteration, "block": j,
+                          "mispredict_rate": block_rates[j]})
+            accums.append(accum)
+            k_tasks.append(task)
+
+        # Reduction tree: combine per-block accumulators, compute the
+        # new centers and detect termination at the root r0.
+        level_regions = accums
+        root_task = None
+        for width in _tree_levels(m, config.reduction_arity):
+            next_regions = []
+            for q in range(width):
+                children = level_regions[q * config.reduction_arity:
+                                         (q + 1) * config.reduction_arity]
+                out = program.allocate(
+                    config.centers_bytes,
+                    name="reduce_{}_{}_{}".format(iteration, width, q))
+                root_task = program.spawn(
+                    "kmeans_reduce", config.tree_task_cycles,
+                    reads=[(child, 0, config.centers_bytes)
+                           for child in children],
+                    writes=[(out, 0, config.centers_bytes)],
+                    creator=creator,
+                    metadata={"iteration": iteration})
+                next_regions.append(out)
+            level_regions = next_regions
+        new_centers = level_regions[0]
+
+        # Propagation tree: broadcast the updated centers toward the
+        # distance tasks of the next iteration.
+        center_leaves = [new_centers]
+        if iteration < config.iterations - 1:
+            leaves_needed = max(1, (m + config.propagation_arity - 1)
+                                // config.propagation_arity)
+            frontier = [new_centers]
+            while len(frontier) < leaves_needed:
+                next_frontier = []
+                for parent in frontier:
+                    if len(next_frontier) >= leaves_needed:
+                        next_frontier.append(parent)
+                        continue
+                    for __ in range(config.propagation_arity):
+                        if len(next_frontier) >= leaves_needed:
+                            break
+                        copy = program.allocate(
+                            config.centers_bytes,
+                            name="prop_{}_{}".format(
+                                iteration, len(next_frontier)))
+                        program.spawn(
+                            "kmeans_propagate", config.tree_task_cycles,
+                            reads=[(parent, 0, config.centers_bytes)],
+                            writes=[(copy, 0, config.centers_bytes)],
+                            creator=root_task,
+                            metadata={"iteration": iteration})
+                        next_frontier.append(copy)
+                frontier = next_frontier
+            center_leaves = frontier
+        # The next iteration's tasks are created dynamically by the
+        # reduction root once it has detected non-termination.
+        creator = root_task
+    return program.finalize()

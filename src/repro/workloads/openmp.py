@@ -1,0 +1,139 @@
+"""An OpenMP 4.0-style dependent-task frontend.
+
+The paper's conclusion notes Aftermath "is currently being ported to
+other dependent tasking models, starting with OpenMP 4.0".  This module
+provides that second frontend for the simulator: tasks declare
+``depend(in: x)`` / ``depend(out: x)`` / ``depend(inout: x)`` clauses
+over named variables, as in OpenMP, and the builder translates the
+clauses into memory accesses on per-variable regions — after which the
+usual last-writer derivation produces exactly OpenMP's task dependence
+semantics (``in`` after ``out``; OpenMP's additional out-after-in and
+out-after-out orderings hold structurally in the workloads below, see
+:meth:`OpenMPProgram.task`).
+
+Two classic recursive OpenMP workloads are included; both create tasks
+*dynamically* (each task spawns its children), exercising the
+simulator's creator chains rather than main-program creation:
+
+* :func:`build_fibonacci` — the canonical ``fib(n)`` task benchmark;
+* :func:`build_mergesort` — recursive divide, then dependent merges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..runtime.program import Program
+
+
+class OpenMPProgram:
+    """``#pragma omp task depend(...)`` over named variables."""
+
+    def __init__(self, machine, name="openmp", memory=None,
+                 variable_bytes=4096):
+        self.program = Program(machine, memory=memory, name=name)
+        self.variable_bytes = variable_bytes
+        self._variables: Dict[str, object] = {}
+
+    def variable(self, name, size=None):
+        """Declare (or look up) a shared variable."""
+        region = self._variables.get(name)
+        if region is None:
+            region = self.program.allocate(
+                size if size is not None else self.variable_bytes,
+                name=name)
+            self._variables[name] = region
+        return region
+
+    def task(self, function, work, depend_in=(), depend_out=(),
+             depend_inout=(), creator=None, counters=None,
+             metadata=None):
+        """Spawn a task with OpenMP-style depend clauses.
+
+        ``depend_*`` are variable names.  ``inout`` reads and writes.
+        Note: only flow (in-after-out) dependences are derived; the
+        workloads in this module never rely on OpenMP's anti/output
+        orderings (every variable has a unique writer), which keeps the
+        translation exact.
+        """
+        reads = []
+        writes = []
+        for name in depend_in:
+            region = self.variable(name)
+            reads.append((region, 0, region.size))
+        for name in depend_inout:
+            region = self.variable(name)
+            reads.append((region, 0, region.size))
+            writes.append((region, 0, region.size))
+        for name in depend_out:
+            region = self.variable(name)
+            writes.append((region, 0, region.size))
+        return self.program.spawn(function, work, reads=reads,
+                                  writes=writes, creator=creator,
+                                  counters=counters, metadata=metadata)
+
+    def finalize(self):
+        return self.program.finalize()
+
+
+def build_fibonacci(machine, n=10, task_cycles=20_000, cutoff=2):
+    """``fib(n)`` with one task per call above the cutoff.
+
+    Each ``fib(k)`` task creates its two children (dynamic creation)
+    and a combine task that depends on both children's outputs.
+    """
+    omp = OpenMPProgram(machine, name="fibonacci")
+    counter = [0]
+
+    def fib(k, out, creator):
+        if k < cutoff:
+            return omp.task("fib_leaf", task_cycles // 2,
+                            depend_out=[out], creator=creator,
+                            metadata={"n": k})
+        counter[0] += 1
+        identity = counter[0]
+        spawn = omp.task("fib_spawn", task_cycles // 4,
+                         creator=creator, metadata={"n": k})
+        left = "fib_{}_l".format(identity)
+        right = "fib_{}_r".format(identity)
+        fib(k - 1, left, spawn)
+        fib(k - 2, right, spawn)
+        return omp.task("fib_combine", task_cycles,
+                        depend_in=[left, right], depend_out=[out],
+                        creator=spawn, metadata={"n": k})
+    fib(n, "fib_result", None)
+    return omp.finalize()
+
+
+def build_mergesort(machine, elements=1 << 16, leaf_elements=1 << 12,
+                    cycles_per_element=6.0):
+    """Recursive merge sort: sort tasks at the leaves, dependent merge
+    tasks up the tree (a balanced reduction, unlike k-means' wide one).
+    """
+    omp = OpenMPProgram(machine, name="mergesort", variable_bytes=4096)
+    counter = [0]
+
+    def sort(count, out, creator):
+        if count <= leaf_elements:
+            omp.variable(out, max(count * 8, 1))
+            return omp.task(
+                "msort_leaf",
+                int(cycles_per_element * count * 1.5),
+                depend_out=[out], creator=creator,
+                metadata={"elements": count})
+        counter[0] += 1
+        identity = counter[0]
+        left = "run_{}_l".format(identity)
+        right = "run_{}_r".format(identity)
+        spawn = omp.task("msort_spawn", 2_000, creator=creator,
+                         metadata={"elements": count})
+        sort(count // 2, left, spawn)
+        sort(count - count // 2, right, spawn)
+        omp.variable(out, max(count * 8, 1))
+        return omp.task("msort_merge",
+                        int(cycles_per_element * count),
+                        depend_in=[left, right], depend_out=[out],
+                        creator=spawn, metadata={"elements": count})
+    sort(elements, "sorted", None)
+    return omp.finalize()

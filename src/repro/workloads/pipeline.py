@@ -1,0 +1,74 @@
+"""A streaming pipeline workload: OpenStream's home turf.
+
+OpenStream is a *streaming* data-flow model ("task, pipeline and data
+parallelism", Section I); this workload models a multi-stage pipeline
+over a stream of frames: each stage processes frame t after (a) the
+same stage processed frame t-1 ... only if the stage is stateful, and
+(b) the previous stage produced frame t.  Stage imbalance produces the
+classic pipeline bottleneck pattern on the timeline: every stage
+downstream of the slow one shows periodic idleness at the slow stage's
+rate — a fourth anomaly family to exercise Aftermath's views on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from ..runtime.program import Program
+
+
+@dataclass
+class PipelineConfig:
+    """``stage_costs[s]`` is stage s's per-frame cost in cycles;
+    ``stateful[s]`` serializes stage s across frames."""
+
+    frames: int = 64
+    stage_costs: Tuple[int, ...] = (20_000, 60_000, 20_000, 20_000)
+    stateful: Tuple[bool, ...] = ()
+    frame_bytes: int = 64 * 1024
+
+    def __post_init__(self):
+        if not self.stateful:
+            self.stateful = tuple(True for __ in self.stage_costs)
+        if len(self.stateful) != len(self.stage_costs):
+            raise ValueError("stateful flags must match stage count")
+
+    @property
+    def stages(self):
+        return len(self.stage_costs)
+
+
+def build_pipeline(machine, config=None, memory=None):
+    """Build the pipeline task graph."""
+    config = config if config is not None else PipelineConfig()
+    program = Program(machine, memory=memory, name="pipeline")
+    size = config.frame_bytes
+
+    # One region per (stage, frame) output; one state region per
+    # stateful stage, read+written every frame to serialize it.
+    state_regions = [program.allocate(4096,
+                                      name="state_{}".format(stage))
+                     if config.stateful[stage] else None
+                     for stage in range(config.stages)]
+    previous_outputs = [None] * config.frames
+    for stage in range(config.stages):
+        outputs = []
+        for frame in range(config.frames):
+            out = program.allocate(size, name="s{}_f{}".format(stage,
+                                                               frame))
+            reads = []
+            writes = [(out, 0, size)]
+            if previous_outputs[frame] is not None:
+                reads.append((previous_outputs[frame], 0, size))
+            state = state_regions[stage]
+            if state is not None:
+                reads.append((state, 0, state.size))
+                writes.append((state, 0, state.size))
+            program.spawn("pipe_stage{}".format(stage),
+                          config.stage_costs[stage],
+                          reads=reads, writes=writes,
+                          metadata={"stage": stage, "frame": frame})
+            outputs.append(out)
+        previous_outputs = outputs
+    return program.finalize()

@@ -1,0 +1,98 @@
+"""The seidel benchmark: a 2-D Gauss-Seidel stencil over a blocked matrix.
+
+This reproduces the OpenStream application analyzed in Sections III and
+IV of the paper: a ``2^14 x 2^14`` matrix of doubles processed in
+``2^8 x 2^8`` blocks on the 24-node SGI UV2000.
+
+Task structure (matching Fig. 6):
+
+* one *initialization* task per block writes the block's region first —
+  triggering physical page allocation (first touch), which is the root
+  cause of the slow-initialization anomaly of Section III-B;
+* one *computation* task per block and time step ``(t, i, j)`` reads its
+  own block (the version written at step ``t-1``), the already-updated
+  edges of the left/top neighbors (step ``t``) and the not-yet-updated
+  edges of the right/bottom neighbors (step ``t-1``), then writes its
+  block in place.
+
+The derived dependences form the diagonal wave front of Fig. 6: depth 0
+holds all initialization tasks, depth 1 holds only ``b(0,0)`` (the
+paper's sudden drop of parallelism to a single task), and parallelism
+then grows as wave fronts from successive time steps pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..runtime.program import Program
+
+DOUBLE = 8
+
+
+@dataclass
+class SeidelConfig:
+    """Problem shape. Defaults are a scaled-down version of the paper's
+    ``2^14`` matrix in ``2^8`` blocks over 50 time steps; pass
+    ``blocks=64, block_dim=256, steps=50`` for the full-size graph."""
+
+    blocks: int = 16          # blocks per matrix dimension
+    block_dim: int = 64       # elements per block dimension
+    steps: int = 10           # Gauss-Seidel sweeps
+    cycles_per_point: float = 2.0    # stencil cost per element
+                                     # (the stencil is memory-bound)
+    init_cycles_per_point: float = 0.5  # pure-write initialization cost
+
+    @property
+    def block_bytes(self):
+        return self.block_dim * self.block_dim * DOUBLE
+
+    @property
+    def row_bytes(self):
+        return self.block_dim * DOUBLE
+
+
+def build_seidel(machine, config=None, memory=None):
+    """Build the seidel task graph as a finalized :class:`Program`.
+
+    ``memory`` optionally supplies a pre-configured
+    :class:`MemoryManager` (e.g. with the non-optimized run-time's
+    NUMA-oblivious random placement policy).
+    """
+    config = config if config is not None else SeidelConfig()
+    program = Program(machine, memory=memory, name="seidel")
+    blocks = config.blocks
+    regions = [[program.allocate(config.block_bytes,
+                                 name="block_{}_{}".format(i, j))
+                for j in range(blocks)] for i in range(blocks)]
+
+    init_work = int(config.init_cycles_per_point
+                    * config.block_dim * config.block_dim)
+    for i in range(blocks):
+        for j in range(blocks):
+            program.spawn(
+                "seidel_init", init_work,
+                writes=[(regions[i][j], 0, config.block_bytes)])
+
+    compute_work = int(config.cycles_per_point
+                       * config.block_dim * config.block_dim)
+    edge = config.row_bytes
+    last_row_offset = config.block_bytes - edge
+    for t in range(config.steps):
+        for i in range(blocks):
+            for j in range(blocks):
+                reads = [(regions[i][j], 0, config.block_bytes)]
+                if i > 0:    # bottom edge of the (updated) top neighbor
+                    reads.append((regions[i - 1][j], last_row_offset, edge))
+                if j > 0:    # right edge of the (updated) left neighbor
+                    reads.append((regions[i][j - 1], last_row_offset, edge))
+                if i < blocks - 1:   # top edge of the (old) bottom neighbor
+                    reads.append((regions[i + 1][j], 0, edge))
+                if j < blocks - 1:   # left edge of the (old) right neighbor
+                    reads.append((regions[i][j + 1], 0, edge))
+                program.spawn(
+                    "seidel_block", compute_work,
+                    reads=reads,
+                    writes=[(regions[i][j], 0, config.block_bytes)],
+                    metadata={"t": t, "i": i, "j": j})
+    return program.finalize()

@@ -1,0 +1,63 @@
+"""Synthetic workload generators for tests and rendering benchmarks."""
+
+from __future__ import annotations
+
+import random
+
+from ..runtime.program import Program
+
+
+def build_chain(machine, length=10, work=10_000, bytes_per_task=4096):
+    """A fully serial pipeline: each task reads its predecessor's output."""
+    program = Program(machine, name="chain")
+    previous = None
+    for index in range(length):
+        region = program.allocate(bytes_per_task,
+                                  name="link_{}".format(index))
+        reads = [] if previous is None else [(previous, 0, bytes_per_task)]
+        program.spawn("chain_stage", work, reads=reads,
+                      writes=[(region, 0, bytes_per_task)])
+        previous = region
+    return program.finalize()
+
+
+def build_fork_join(machine, width=16, work=20_000, bytes_per_task=4096):
+    """One producer, ``width`` independent consumers, one reducer."""
+    program = Program(machine, name="fork_join")
+    source = program.allocate(bytes_per_task, name="source")
+    program.spawn("fj_produce", work, writes=[(source, 0, bytes_per_task)])
+    outputs = []
+    for index in range(width):
+        out = program.allocate(bytes_per_task, name="mid_{}".format(index))
+        program.spawn("fj_work", work,
+                      reads=[(source, 0, bytes_per_task)],
+                      writes=[(out, 0, bytes_per_task)])
+        outputs.append(out)
+    program.spawn("fj_join", work,
+                  reads=[(out, 0, bytes_per_task) for out in outputs])
+    return program.finalize()
+
+
+def build_random_dag(machine, num_tasks=200, max_deps=3, seed=0,
+                     work_range=(5_000, 50_000), bytes_per_task=4096):
+    """A random layered DAG with reproducible structure.
+
+    Every task writes one fresh region and reads the outputs of up to
+    ``max_deps`` randomly chosen earlier tasks, which keeps the derived
+    graph acyclic by construction.
+    """
+    rng = random.Random(seed)
+    program = Program(machine, name="random_dag")
+    outputs = []
+    for index in range(num_tasks):
+        region = program.allocate(bytes_per_task,
+                                  name="out_{}".format(index))
+        reads = []
+        if outputs:
+            deps = rng.randint(0, min(max_deps, len(outputs)))
+            for source in rng.sample(outputs, deps):
+                reads.append((source, 0, bytes_per_task))
+        program.spawn("random_work", rng.randint(*work_range),
+                      reads=reads, writes=[(region, 0, bytes_per_task)])
+        outputs.append(region)
+    return program.finalize()

@@ -1,0 +1,102 @@
+"""Smoke tests for the command-line Aftermath example.
+
+The CLI is the repository's downstream-user entry point; these tests
+drive every subcommand against a real trace file.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+from repro.trace_format import write_trace
+
+CLI_PATH = (pathlib.Path(__file__).parent.parent / "examples"
+            / "aftermath_cli.py")
+
+
+@pytest.fixture(scope="module")
+def cli():
+    spec = importlib.util.spec_from_file_location("aftermath_cli",
+                                                  CLI_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def trace_path(seidel_trace_small, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "trace.ost.gz"
+    write_trace(seidel_trace_small, str(path))
+    return str(path)
+
+
+class TestSubcommands:
+    def test_info(self, cli, trace_path, capsys):
+        cli.main(["info", trace_path])
+        out = capsys.readouterr().out
+        assert "seidel_block" in out
+        assert "machine:" in out
+
+    def test_report(self, cli, trace_path, capsys):
+        cli.main(["report", trace_path])
+        assert "average parallelism" in capsys.readouterr().out
+
+    def test_render_all_modes(self, cli, trace_path, tmp_path, capsys):
+        for mode in ("state", "heatmap", "typemap", "numa-read",
+                     "numa-write", "numa-heatmap"):
+            out_path = tmp_path / "{}.ppm".format(mode)
+            cli.main(["render", trace_path, str(out_path), "--mode",
+                      mode, "--width", "128"])
+            assert out_path.exists()
+            assert out_path.read_bytes().startswith(b"P6")
+
+    def test_render_window(self, cli, trace_path, tmp_path):
+        out_path = tmp_path / "window.ppm"
+        cli.main(["render", trace_path, str(out_path), "--start", "0",
+                  "--end", "100000", "--width", "64"])
+        assert out_path.exists()
+
+    def test_parallelism(self, cli, trace_path, capsys):
+        cli.main(["parallelism", trace_path])
+        out = capsys.readouterr().out
+        assert out.startswith("depth  tasks")
+
+    def test_matrix(self, cli, trace_path, capsys):
+        cli.main(["matrix", trace_path, "--kind", "read"])
+        assert "0.0" in capsys.readouterr().out
+
+    def test_export(self, cli, trace_path, tmp_path, capsys):
+        out_path = tmp_path / "tasks.csv"
+        cli.main(["export", trace_path, str(out_path), "--type",
+                  "seidel_init"])
+        lines = out_path.read_text().splitlines()
+        assert len(lines) == 37    # header + 36 init tasks
+
+    def test_dot(self, cli, trace_path, tmp_path):
+        out_path = tmp_path / "graph.dot"
+        cli.main(["dot", trace_path, str(out_path), "--task", "40",
+                  "--hops", "1"])
+        assert out_path.read_text().startswith("digraph")
+
+    def test_anomalies(self, cli, trace_path, capsys):
+        cli.main(["anomalies", trace_path])
+        out = capsys.readouterr().out
+        assert "severity" in out or "no anomalies" in out
+
+    def test_profile(self, cli, trace_path, capsys):
+        cli.main(["profile", trace_path])
+        assert "seidel_block" in capsys.readouterr().out
+
+    def test_critical_path(self, cli, trace_path, capsys):
+        cli.main(["critical-path", trace_path, "--show-path"])
+        out = capsys.readouterr().out
+        assert "max speedup" in out
+        assert "path:" in out
+
+    def test_task_details(self, cli, trace_path, capsys,
+                          seidel_trace_small):
+        task_id = int(seidel_trace_small.tasks.columns["task_id"][0])
+        cli.main(["task", trace_path, str(task_id)])
+        assert "work function" in capsys.readouterr().out

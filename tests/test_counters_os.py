@@ -1,0 +1,92 @@
+"""Tests for the hardware counter and OS models."""
+
+import pytest
+
+from repro.runtime import (CounterModelConfig, HardwareCounters, Machine,
+                           OsModel, OsModelConfig, Program)
+from repro.runtime.counters import BRANCH_MISPREDICTIONS, CACHE_MISSES
+
+
+def make_task(counters=None, work=10_000):
+    machine = Machine(1, 1)
+    program = Program(machine)
+    return program.spawn("t", work, counters=counters)
+
+
+class TestHardwareCounters:
+    def test_counters_start_at_zero(self):
+        counters = HardwareCounters(4)
+        for core in range(4):
+            assert counters.value(core, CACHE_MISSES) == 0.0
+            assert counters.value(core, BRANCH_MISPREDICTIONS) == 0.0
+
+    def test_charge_task_advances_only_that_core(self):
+        counters = HardwareCounters(2)
+        counters.charge_task(0, make_task(), local_bytes=6400,
+                             remote_bytes=0)
+        assert counters.value(0, CACHE_MISSES) > 0
+        assert counters.value(1, CACHE_MISSES) == 0
+
+    def test_remote_bytes_miss_more(self):
+        config = CounterModelConfig()
+        local = HardwareCounters(1, config)
+        remote = HardwareCounters(1, config)
+        local.charge_task(0, make_task(), local_bytes=64_000,
+                          remote_bytes=0)
+        remote.charge_task(0, make_task(), local_bytes=0,
+                           remote_bytes=64_000)
+        assert (remote.value(0, CACHE_MISSES)
+                > local.value(0, CACHE_MISSES))
+
+    def test_pinned_counter_value_wins(self):
+        counters = HardwareCounters(1)
+        task = make_task(counters={BRANCH_MISPREDICTIONS: 777})
+        counters.charge_task(0, task, local_bytes=1000, remote_bytes=0)
+        assert counters.value(0, BRANCH_MISPREDICTIONS) == 777
+
+    def test_default_branch_rate_proportional_to_work(self):
+        counters = HardwareCounters(1)
+        counters.charge_task(0, make_task(work=1_000_000),
+                             local_bytes=0, remote_bytes=0)
+        small = HardwareCounters(1)
+        small.charge_task(0, make_task(work=1_000), local_bytes=0,
+                          remote_bytes=0)
+        assert (counters.value(0, BRANCH_MISPREDICTIONS)
+                > small.value(0, BRANCH_MISPREDICTIONS))
+
+    def test_snapshot_is_a_copy(self):
+        counters = HardwareCounters(1)
+        snapshot = counters.snapshot(0)
+        snapshot[CACHE_MISSES] = 1e9
+        assert counters.value(0, CACHE_MISSES) == 0.0
+
+
+class TestOsModel:
+    def test_fault_charges_system_time_and_rss(self):
+        model = OsModel(2, OsModelConfig(fault_system_us=2.0,
+                                         fault_cycles=1000))
+        stall = model.charge_faults(1, 10)
+        assert stall == 10_000
+        assert model.system_time_us(1) == pytest.approx(20.0)
+        assert model.resident_kb(1) == pytest.approx(40.0)  # 10 pages
+        assert model.system_time_us(0) == 0.0
+
+    def test_zero_faults_free(self):
+        model = OsModel(1)
+        assert model.charge_faults(0, 0) == 0
+        assert model.system_time_us(0) == 0.0
+
+    def test_total_resident_sums_workers(self):
+        model = OsModel(3)
+        model.charge_faults(0, 1)
+        model.charge_faults(2, 2)
+        assert model.total_resident_kb() == pytest.approx(12.0)
+
+    def test_background_time_accumulates(self):
+        model = OsModel(1, OsModelConfig(
+            syscall_system_us_per_gcycle=1000.0))
+        model.charge_background(0, 500_000_000)
+        assert model.system_time_us(0) == pytest.approx(500.0)
+        # A second call for the same instant adds nothing.
+        model.charge_background(0, 500_000_000)
+        assert model.system_time_us(0) == pytest.approx(500.0)

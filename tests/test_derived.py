@@ -1,0 +1,137 @@
+"""Tests for the configurable derived-metric generators (Fig. 1 box 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (AggregatedCounter, AverageTaskDuration,
+                        BytesBetweenNodes, Derivative, DerivedMetricMenu,
+                        Ratio, WorkerState, WorkersInState,
+                        counter_histogram, state_count_series)
+from repro.render import Framebuffer, TimelineView, \
+    render_derived_series
+
+
+class TestWorkersInState:
+    def test_matches_metric_function(self, seidel_trace_small):
+        trace = seidel_trace_small
+        spec = WorkersInState(state=int(WorkerState.IDLE))
+        series = spec.materialize(trace, num_intervals=50)
+        __, expected = state_count_series(trace, WorkerState.IDLE, 50)
+        assert np.asarray(series.values) == pytest.approx(expected)
+
+    def test_name_mentions_state(self):
+        assert "IDLE" in WorkersInState(int(WorkerState.IDLE)).name
+
+    def test_core_restriction(self, seidel_trace_small):
+        spec = WorkersInState(state=int(WorkerState.RUNNING),
+                              cores=(0, 1))
+        series = spec.materialize(seidel_trace_small, 20)
+        assert max(series.values) <= 2.0 + 1e-9
+
+
+class TestComposition:
+    def test_derivative_of_aggregate(self, seidel_trace_small):
+        spec = Derivative(AggregatedCounter("os_resident_kb"))
+        series = spec.materialize(seidel_trace_small, 50)
+        values = np.asarray(series.values)
+        # RSS only grows: the derivative is non-negative and positive
+        # somewhere in the initialization phase.
+        assert (values >= -1e-9).all()
+        assert values.max() > 0
+
+    def test_ratio_operator(self, seidel_trace_small):
+        mispred = AggregatedCounter("branch_mispredictions")
+        misses = AggregatedCounter("cache_misses")
+        ratio = mispred / misses
+        assert isinstance(ratio, Ratio)
+        series = ratio.materialize(seidel_trace_small, 30)
+        assert len(series.values) == 30
+        assert (np.asarray(series.values) >= 0).all()
+
+    def test_derivative_method(self):
+        spec = AverageTaskDuration().derivative()
+        assert isinstance(spec, Derivative)
+
+    def test_bytes_between_nodes_spec(self, seidel_trace_small):
+        spec = BytesBetweenNodes(src_node=1, dst_node=0)
+        series = spec.materialize(seidel_trace_small, 10)
+        from repro.core import communication_matrix
+        matrix = communication_matrix(seidel_trace_small,
+                                      normalize=False)
+        assert sum(series.values) == pytest.approx(matrix[1, 0])
+
+
+class TestMenu:
+    def build_menu(self):
+        menu = DerivedMetricMenu()
+        menu.add(WorkersInState(int(WorkerState.IDLE)))
+        menu.add(AverageTaskDuration())
+        menu.add(Derivative(AggregatedCounter("os_system_time_us")),
+                 name="sys-time rate")
+        return menu
+
+    def test_materialize_all(self, seidel_trace_small):
+        menu = self.build_menu()
+        series = menu.materialize_all(seidel_trace_small,
+                                      num_intervals=25)
+        assert set(series) == set(menu.names())
+        for entry in series.values():
+            assert len(entry.values) in (24, 25)
+
+    def test_config_roundtrip(self, seidel_trace_small):
+        menu = self.build_menu()
+        menu.add(Ratio(AggregatedCounter("branch_mispredictions"),
+                       AggregatedCounter("cache_misses")), name="ratio")
+        config = menu.to_config()
+        rebuilt = DerivedMetricMenu.from_config(config)
+        assert rebuilt.names() == menu.names()
+        original = menu.materialize_all(seidel_trace_small, 20)
+        recovered = rebuilt.materialize_all(seidel_trace_small, 20)
+        for name in original:
+            assert (np.asarray(original[name].values)
+                    == pytest.approx(
+                        np.asarray(recovered[name].values)))
+
+    def test_remove(self):
+        menu = self.build_menu()
+        count = len(menu)
+        menu.remove(menu.names()[0])
+        assert len(menu) == count - 1
+
+    def test_unknown_config_kind_rejected(self):
+        with pytest.raises(ValueError):
+            DerivedMetricMenu.from_config({"x": {"kind": "nope"}})
+
+
+class TestRenderDerived:
+    def test_overlay_draws(self, seidel_trace_small):
+        trace = seidel_trace_small
+        series = WorkersInState(int(WorkerState.IDLE)).materialize(
+            trace, 100)
+        view = TimelineView.fit(trace, 200, 80)
+        fb = Framebuffer(200, 80)
+        calls = render_derived_series(series, view, fb)
+        assert calls > 0
+        assert fb.pixels_drawn > 0
+
+    def test_empty_series_noop(self, seidel_trace_small):
+        from repro.core.derived import DerivedSeries
+        series = DerivedSeries("empty", (0.0,), ())
+        view = TimelineView(0, 100, width=10, height=10)
+        fb = Framebuffer(10, 10)
+        assert render_derived_series(series, view, fb) == 0
+
+
+class TestCounterHistogram:
+    def test_fractions_sum_to_one(self, kmeans_trace_small):
+        from repro.core import TaskTypeFilter
+        __, fractions = counter_histogram(
+            kmeans_trace_small, "branch_mispredictions", bins=12,
+            task_filter=TaskTypeFilter("kmeans_distance"))
+        assert fractions.sum() == pytest.approx(1.0)
+
+    def test_range_pinning(self, kmeans_trace_small):
+        edges, __ = counter_histogram(kmeans_trace_small,
+                                      "cache_misses", bins=4,
+                                      value_range=(0, 100))
+        assert edges[0] == 0 and edges[-1] == 100

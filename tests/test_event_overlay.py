@@ -1,0 +1,91 @@
+"""Tests for discrete-event and annotation overlays."""
+
+import numpy as np
+import pytest
+
+from repro.core import (Annotation, AnnotationStore, DiscreteEventKind,
+                        TopologyInfo, TraceBuilder)
+from repro.render import (Framebuffer, TimelineView, render_annotations,
+                          render_discrete_events)
+
+
+def trace_with_events():
+    builder = TraceBuilder(TopologyInfo(1, 2))
+    builder.state_interval(0, 0, 0, 1000)
+    builder.state_interval(1, 0, 0, 1000)
+    builder.discrete_event(0, int(DiscreteEventKind.TASK_CREATED), 100, 1)
+    builder.discrete_event(0, int(DiscreteEventKind.TASK_CREATED), 105, 2)
+    builder.discrete_event(0, int(DiscreteEventKind.TASK_STOLEN), 500, 1)
+    builder.discrete_event(1, int(DiscreteEventKind.TASK_STOLEN), 700, 2)
+    return builder.build()
+
+
+class TestDiscreteEventOverlay:
+    def test_markers_drawn_per_lane(self):
+        trace = trace_with_events()
+        view = TimelineView(0, 1000, width=400, height=20)
+        fb = Framebuffer(400, 20)
+        markers = render_discrete_events(trace, view, fb)
+        # 100 and 105 fall in different pixels at width 400 -> 4 markers.
+        assert markers == 4
+        assert fb.pixels_drawn > 0
+
+    def test_same_pixel_aggregation(self):
+        trace = trace_with_events()
+        view = TimelineView(0, 1000, width=10, height=20)
+        fb = Framebuffer(10, 20)
+        markers = render_discrete_events(trace, view, fb)
+        # 100 and 105 now share a pixel column: one marker for both.
+        assert markers == 3
+
+    def test_kind_filter(self):
+        trace = trace_with_events()
+        view = TimelineView(0, 1000, width=100, height=20)
+        fb = Framebuffer(100, 20)
+        markers = render_discrete_events(
+            trace, view, fb, kind=DiscreteEventKind.TASK_STOLEN)
+        assert markers == 2
+
+    def test_out_of_view_events_skipped(self):
+        trace = trace_with_events()
+        view = TimelineView(2000, 3000, width=50, height=20)
+        fb = Framebuffer(50, 20)
+        assert render_discrete_events(trace, view, fb) == 0
+
+    def test_real_trace_creation_markers(self, seidel_trace_small):
+        trace = seidel_trace_small
+        view = TimelineView.fit(trace, 400, 4 * trace.num_cores)
+        fb = Framebuffer(view.width, view.height)
+        markers = render_discrete_events(
+            trace, view, fb, kind=DiscreteEventKind.TASK_CREATED)
+        assert markers > 0
+
+
+class TestAnnotationOverlay:
+    def test_global_annotation_spans_height(self):
+        trace = trace_with_events()
+        store = AnnotationStore([Annotation(500, "look here")])
+        view = TimelineView(0, 1000, width=100, height=40)
+        fb = Framebuffer(100, 40)
+        drawn = render_annotations(store, view, fb, trace)
+        assert drawn == 1
+        x = view.time_to_pixel(500)
+        assert (fb.pixels[:, x] == (255, 255, 0)).all()
+
+    def test_core_annotation_marks_one_lane(self):
+        trace = trace_with_events()
+        store = AnnotationStore([Annotation(500, "core 1 slow", core=1)])
+        view = TimelineView(0, 1000, width=100, height=40)
+        fb = Framebuffer(100, 40)
+        assert render_annotations(store, view, fb, trace) == 1
+        x = view.time_to_pixel(500)
+        lane_height = 40 // 2
+        assert (fb.pixels[lane_height:, x] == (255, 255, 0)).all()
+        assert (fb.pixels[:lane_height, x] == (0, 0, 0)).all()
+
+    def test_annotations_outside_view_skipped(self):
+        trace = trace_with_events()
+        store = AnnotationStore([Annotation(5000, "later")])
+        view = TimelineView(0, 1000, width=100, height=40)
+        fb = Framebuffer(100, 40)
+        assert render_annotations(store, view, fb, trace) == 0

@@ -1,0 +1,81 @@
+"""Tests for the event data model and the color palettes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (STATE_NAMES, StateInterval, TaskExecution,
+                        TopologyInfo, WorkerState)
+from repro.render import (heatmap_shades, numa_heat_color, numa_palette,
+                          state_color, type_palette)
+from repro.render.colors import heatmap_color
+
+
+class TestEventModel:
+    def test_every_state_has_a_name(self):
+        for state in WorkerState:
+            assert state in STATE_NAMES
+
+    def test_interval_duration(self):
+        interval = StateInterval(core=0, state=0, start=10, end=35)
+        assert interval.duration == 25
+
+    def test_task_execution_duration(self):
+        execution = TaskExecution(task_id=1, type_id=0, core=2,
+                                  start=100, end=150)
+        assert execution.duration == 50
+
+    def test_topology_core_mapping(self):
+        topology = TopologyInfo(num_nodes=3, cores_per_node=4)
+        assert topology.num_cores == 12
+        assert topology.node_of_core(0) == 0
+        assert topology.node_of_core(4) == 1
+        assert topology.node_of_core(11) == 2
+
+    def test_events_are_hashable(self):
+        first = StateInterval(0, 0, 0, 10)
+        second = StateInterval(0, 0, 0, 10)
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestPalettes:
+    def test_each_state_distinct_color(self):
+        colors = {state_color(state) for state in WorkerState}
+        assert len(colors) == len(WorkerState)
+
+    def test_unknown_state_has_fallback(self):
+        assert state_color(999) == (200, 200, 200)
+
+    def test_heatmap_shades_darken(self):
+        shades = heatmap_shades(10)
+        greens = [shade[1] for shade in shades]
+        assert greens == sorted(greens, reverse=True)
+
+    def test_heatmap_needs_two_shades(self):
+        with pytest.raises(ValueError):
+            heatmap_shades(1)
+
+    @given(fraction=st.floats(min_value=-2, max_value=3,
+                              allow_nan=False))
+    def test_heatmap_color_always_valid(self, fraction):
+        shades = heatmap_shades(10)
+        color = heatmap_color(fraction, shades)
+        assert color in shades
+
+    @given(count=st.integers(min_value=1, max_value=64))
+    def test_palettes_are_distinct(self, count):
+        for palette in (type_palette(count), numa_palette(count)):
+            assert len(palette) == count
+            assert len(set(palette)) == count
+
+    @given(fraction=st.floats(min_value=0, max_value=1,
+                              allow_nan=False))
+    def test_numa_heat_gradient_in_rgb_range(self, fraction):
+        color = numa_heat_color(fraction)
+        assert all(0 <= channel <= 255 for channel in color)
+
+    def test_numa_heat_endpoints(self):
+        blue = numa_heat_color(0.0)
+        pink = numa_heat_color(1.0)
+        assert blue[2] > blue[0]      # blue end: B dominates
+        assert pink[0] > pink[2]      # pink end: R dominates

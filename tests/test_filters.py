@@ -1,0 +1,154 @@
+"""Tests for task filters (Section II-A.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (AllTasks, CoreFilter, DurationFilter,
+                        IntervalFilter, NumaNodeFilter, PredicateFilter,
+                        TaskTypeFilter, filtered_tasks)
+
+
+class TestTaskTypeFilter:
+    def test_by_name(self, seidel_trace_small):
+        trace = seidel_trace_small
+        init = TaskTypeFilter("seidel_init").mask(trace)
+        block = TaskTypeFilter("seidel_block").mask(trace)
+        assert init.sum() == 36          # 6x6 blocks
+        assert block.sum() == 36 * 4     # 4 steps
+        assert not (init & block).any()
+
+    def test_by_id(self, seidel_trace_small):
+        trace = seidel_trace_small
+        by_name = TaskTypeFilter("seidel_init").mask(trace)
+        type_id = next(info.type_id for info in trace.task_types
+                       if info.name == "seidel_init")
+        by_id = TaskTypeFilter(type_id).mask(trace)
+        assert (by_name == by_id).all()
+
+    def test_unknown_name_raises(self, seidel_trace_small):
+        with pytest.raises(KeyError):
+            TaskTypeFilter("nonexistent").mask(seidel_trace_small)
+
+    def test_multiple_types_union(self, seidel_trace_small):
+        trace = seidel_trace_small
+        both = TaskTypeFilter("seidel_init", "seidel_block").mask(trace)
+        assert both.all()
+
+    def test_needs_at_least_one_type(self):
+        with pytest.raises(ValueError):
+            TaskTypeFilter()
+
+
+class TestDurationFilter:
+    def test_range_selects_correctly(self, seidel_trace_small):
+        trace = seidel_trace_small
+        columns = trace.tasks.columns
+        durations = columns["end"] - columns["start"]
+        cutoff = int(np.median(durations))
+        mask = DurationFilter(minimum=cutoff).mask(trace)
+        assert (durations[mask] >= cutoff).all()
+        assert (durations[~mask] < cutoff).all()
+
+    def test_maximum_bound(self, seidel_trace_small):
+        trace = seidel_trace_small
+        columns = trace.tasks.columns
+        durations = columns["end"] - columns["start"]
+        mask = DurationFilter(maximum=int(durations.max()) - 1).mask(trace)
+        assert mask.sum() < len(mask)
+
+
+class TestIntervalFilter:
+    def test_full_range_selects_all(self, seidel_trace_small):
+        trace = seidel_trace_small
+        mask = IntervalFilter(trace.begin, trace.end + 1).mask(trace)
+        assert mask.all()
+
+    def test_empty_window_selects_none(self, seidel_trace_small):
+        trace = seidel_trace_small
+        mask = IntervalFilter(trace.end + 10, trace.end + 20).mask(trace)
+        assert not mask.any()
+
+    def test_half_window(self, seidel_trace_small):
+        trace = seidel_trace_small
+        mid = (trace.begin + trace.end) // 2
+        mask = IntervalFilter(trace.begin, mid).mask(trace)
+        columns = trace.tasks.columns
+        assert (columns["start"][mask] < mid).all()
+
+
+class TestCoreFilter:
+    def test_selects_only_requested_cores(self, seidel_trace_small):
+        trace = seidel_trace_small
+        mask = CoreFilter([0, 1]).mask(trace)
+        cores = trace.tasks.columns["core"][mask]
+        assert set(np.unique(cores)) <= {0, 1}
+
+
+class TestNumaNodeFilter:
+    def test_write_mode(self, seidel_trace_small):
+        trace = seidel_trace_small
+        masks = [NumaNodeFilter([node], mode="write").mask(trace)
+                 for node in range(trace.topology.num_nodes)]
+        union = np.logical_or.reduce(masks)
+        assert union.all()   # every task writes somewhere
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            NumaNodeFilter([0], mode="sideways")
+
+    def test_read_vs_write_differ(self, seidel_trace_small):
+        trace = seidel_trace_small
+        read = NumaNodeFilter([0], mode="read").mask(trace)
+        write = NumaNodeFilter([0], mode="write").mask(trace)
+        assert read.shape == write.shape
+
+
+class TestComposition:
+    def test_and(self, seidel_trace_small):
+        trace = seidel_trace_small
+        combined = (TaskTypeFilter("seidel_block")
+                    & DurationFilter(minimum=0)).mask(trace)
+        assert combined.sum() == 36 * 4
+
+    def test_or(self, seidel_trace_small):
+        trace = seidel_trace_small
+        either = (TaskTypeFilter("seidel_init")
+                  | TaskTypeFilter("seidel_block")).mask(trace)
+        assert either.all()
+
+    def test_not(self, seidel_trace_small):
+        trace = seidel_trace_small
+        inverted = (~TaskTypeFilter("seidel_init")).mask(trace)
+        assert inverted.sum() == 36 * 4
+
+    def test_de_morgan(self, seidel_trace_small):
+        trace = seidel_trace_small
+        a = TaskTypeFilter("seidel_init")
+        b = DurationFilter(minimum=10_000)
+        left = (~(a & b)).mask(trace)
+        right = ((~a) | (~b)).mask(trace)
+        assert (left == right).all()
+
+
+class TestHelpers:
+    def test_all_tasks_neutral(self, seidel_trace_small):
+        assert AllTasks().mask(seidel_trace_small).all()
+
+    def test_count(self, seidel_trace_small):
+        assert (TaskTypeFilter("seidel_init").count(seidel_trace_small)
+                == 36)
+
+    def test_predicate_filter(self, seidel_trace_small):
+        trace = seidel_trace_small
+        mask = PredicateFilter(
+            lambda execution: execution.core == 0).mask(trace)
+        assert (trace.tasks.columns["core"][mask] == 0).all()
+
+    def test_filtered_tasks_none_returns_all(self, seidel_trace_small):
+        columns = filtered_tasks(seidel_trace_small, None)
+        assert len(columns["task_id"]) == len(seidel_trace_small.tasks)
+
+    def test_filtered_tasks_applies_mask(self, seidel_trace_small):
+        columns = filtered_tasks(seidel_trace_small,
+                                 TaskTypeFilter("seidel_init"))
+        assert len(columns["task_id"]) == 36

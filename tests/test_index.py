@@ -1,0 +1,104 @@
+"""Tests for binary-search interval indexing (Section VI-B-c)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import interval_slice, point_slice, states_in_interval, \
+    tasks_in_interval
+
+
+def brute_force_overlap(starts, ends, lo, hi):
+    return [index for index in range(len(starts))
+            if starts[index] < hi and ends[index] > lo]
+
+
+@st.composite
+def sorted_intervals(draw):
+    """Non-overlapping sorted intervals, like one core's state array."""
+    count = draw(st.integers(min_value=0, max_value=30))
+    cursor = 0
+    starts, ends = [], []
+    for __ in range(count):
+        cursor += draw(st.integers(min_value=0, max_value=20))
+        duration = draw(st.integers(min_value=1, max_value=50))
+        starts.append(cursor)
+        ends.append(cursor + duration)
+        cursor += duration
+    return (np.asarray(starts, dtype=np.int64),
+            np.asarray(ends, dtype=np.int64))
+
+
+class TestIntervalSlice:
+    def test_empty_array(self):
+        empty = np.empty(0, dtype=np.int64)
+        result = interval_slice(empty, empty, 0, 100)
+        assert result.start == result.stop == 0
+
+    def test_basic_overlap(self):
+        starts = np.asarray([0, 10, 20, 30])
+        ends = np.asarray([5, 15, 25, 35])
+        selection = interval_slice(starts, ends, 12, 22)
+        assert selection == slice(1, 3)
+
+    def test_query_between_intervals(self):
+        starts = np.asarray([0, 100])
+        ends = np.asarray([10, 110])
+        selection = interval_slice(starts, ends, 50, 60)
+        assert selection.start == selection.stop
+
+    def test_touching_boundaries_excluded(self):
+        """Intervals are half-open: end == query_start is no overlap."""
+        starts = np.asarray([0, 10])
+        ends = np.asarray([10, 20])
+        selection = interval_slice(starts, ends, 10, 20)
+        assert selection == slice(1, 2)
+
+    @given(intervals=sorted_intervals(),
+           lo=st.integers(min_value=0, max_value=2000),
+           span=st.integers(min_value=1, max_value=500))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_brute_force(self, intervals, lo, span):
+        starts, ends = intervals
+        selection = interval_slice(starts, ends, lo, lo + span)
+        expected = brute_force_overlap(starts, ends, lo, lo + span)
+        assert list(range(selection.start, selection.stop)) == expected
+
+
+class TestPointSlice:
+    @given(timestamps=st.lists(st.integers(min_value=0, max_value=1000),
+                               max_size=50),
+           lo=st.integers(min_value=0, max_value=1000),
+           span=st.integers(min_value=0, max_value=400))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_brute_force(self, timestamps, lo, span):
+        array = np.asarray(sorted(timestamps), dtype=np.int64)
+        selection = point_slice(array, lo, lo + span)
+        expected = [index for index in range(len(array))
+                    if lo <= array[index] < lo + span]
+        assert list(range(selection.start, selection.stop)) == expected
+
+
+class TestTraceQueries:
+    def test_states_in_interval_respects_bounds(self, seidel_trace_small):
+        trace = seidel_trace_small
+        mid = (trace.begin + trace.end) // 2
+        span = trace.duration // 10
+        for core in range(trace.num_cores):
+            columns = states_in_interval(trace, core, mid, mid + span)
+            assert (columns["start"] < mid + span).all()
+            assert (columns["end"] > mid).all()
+
+    def test_tasks_in_interval_subset_of_lane(self, seidel_trace_small):
+        trace = seidel_trace_small
+        full = tasks_in_interval(trace, 0, trace.begin, trace.end + 1)
+        assert len(full["task_id"]) == len(
+            trace.tasks.core_column(0, "task_id"))
+
+    def test_whole_range_returns_everything(self, seidel_trace_small):
+        trace = seidel_trace_small
+        total = sum(
+            len(states_in_interval(trace, core, trace.begin,
+                                   trace.end + 1)["state"])
+            for core in range(trace.num_cores))
+        assert total == len(trace.states)

@@ -1,0 +1,93 @@
+"""Tests for the n-ary min/max search tree (Section VI-B-c)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CounterIndex, MinMaxTree
+
+
+class TestMinMaxTree:
+    def test_single_element(self):
+        tree = MinMaxTree([7.0], arity=4)
+        assert tree.query(0, 1) == (7.0, 7.0)
+
+    def test_full_range(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        tree = MinMaxTree(values, arity=3)
+        assert tree.query(0, len(values)) == (1.0, 9.0)
+
+    def test_subranges(self):
+        values = list(range(100))
+        tree = MinMaxTree(values, arity=10)
+        assert tree.query(13, 57) == (13.0, 56.0)
+        assert tree.query(99, 100) == (99.0, 99.0)
+
+    def test_invalid_ranges_rejected(self):
+        tree = MinMaxTree([1.0, 2.0], arity=2)
+        with pytest.raises(ValueError):
+            tree.query(1, 1)
+        with pytest.raises(ValueError):
+            tree.query(-1, 2)
+        with pytest.raises(ValueError):
+            tree.query(0, 3)
+
+    def test_arity_must_be_at_least_two(self):
+        with pytest.raises(ValueError):
+            MinMaxTree([1.0], arity=1)
+
+    def test_default_arity_overhead_below_five_percent(self):
+        """The paper: arity 100 limits the tree overhead to 5 % of the
+        counter data."""
+        tree = MinMaxTree(np.random.default_rng(0).normal(size=50_000))
+        assert tree.arity == 100
+        assert tree.overhead_fraction() <= 0.05
+
+    def test_small_arity_higher_overhead(self):
+        values = np.arange(10_000, dtype=np.float64)
+        binary = MinMaxTree(values, arity=2)
+        wide = MinMaxTree(values, arity=100)
+        assert binary.overhead_fraction() > wide.overhead_fraction()
+
+    @given(values=st.lists(st.floats(min_value=-1e9, max_value=1e9,
+                                     allow_nan=False), min_size=1,
+                           max_size=300),
+           arity=st.integers(min_value=2, max_value=7),
+           data=st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_numpy_min_max(self, values, arity, data):
+        tree = MinMaxTree(values, arity=arity)
+        lo = data.draw(st.integers(min_value=0,
+                                   max_value=len(values) - 1))
+        hi = data.draw(st.integers(min_value=lo + 1,
+                                   max_value=len(values)))
+        expected = (min(values[lo:hi]), max(values[lo:hi]))
+        assert tree.query(lo, hi) == pytest.approx(expected)
+
+
+class TestCounterIndex:
+    def test_query_matches_direct_scan(self, seidel_trace_small):
+        trace = seidel_trace_small
+        index = CounterIndex(trace)
+        counter_id = trace.counter_id("cache_misses")
+        core = 1
+        timestamps, values = trace.counter_samples(core, counter_id)
+        assert len(timestamps) > 4
+        lo_t = int(timestamps[1])
+        hi_t = int(timestamps[-2]) + 1
+        result = index.query_time_range(core, counter_id, lo_t, hi_t)
+        inside = values[(timestamps >= lo_t) & (timestamps < hi_t)]
+        assert result == pytest.approx((inside.min(), inside.max()))
+
+    def test_empty_interval_returns_none(self, seidel_trace_small):
+        trace = seidel_trace_small
+        index = CounterIndex(trace)
+        counter_id = trace.counter_id("cache_misses")
+        assert index.query_time_range(0, counter_id, -100, -50) is None
+
+    def test_trees_are_cached(self, seidel_trace_small):
+        index = CounterIndex(seidel_trace_small)
+        counter_id = seidel_trace_small.counter_id("cache_misses")
+        first = index.tree(0, counter_id)
+        second = index.tree(0, counter_id)
+        assert first is second

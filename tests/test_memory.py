@@ -1,0 +1,157 @@
+"""Tests for the NUMA memory model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime import (FirstTouch, Interleaved, Machine, MemoryManager,
+                           PAGE_SIZE, RandomPlacement)
+
+
+@pytest.fixture
+def machine():
+    return Machine(4, 2)
+
+
+@pytest.fixture
+def manager(machine):
+    return MemoryManager(machine)
+
+
+class TestAllocation:
+    def test_regions_do_not_overlap(self, manager):
+        regions = [manager.allocate(10_000) for __ in range(10)]
+        for first, second in zip(regions, regions[1:]):
+            assert first.end <= second.address
+
+    def test_region_page_count_rounds_up(self, manager):
+        assert manager.allocate(1).num_pages == 1
+        assert manager.allocate(PAGE_SIZE).num_pages == 1
+        assert manager.allocate(PAGE_SIZE + 1).num_pages == 2
+
+    def test_rejects_empty_region(self, manager):
+        with pytest.raises(ValueError):
+            manager.allocate(0)
+
+    def test_pages_start_unallocated(self, manager):
+        region = manager.allocate(3 * PAGE_SIZE)
+        assert region.pages == [None, None, None]
+
+
+class TestRegionLookup:
+    def test_finds_containing_region(self, manager):
+        regions = [manager.allocate(5000, name=str(i)) for i in range(20)]
+        for region in regions:
+            assert manager.region_of(region.address) is region
+            assert manager.region_of(region.end - 1) is region
+
+    def test_misses_between_regions(self, manager):
+        region = manager.allocate(PAGE_SIZE)
+        assert manager.region_of(region.end) is None
+
+    def test_misses_before_first_region(self, manager):
+        region = manager.allocate(PAGE_SIZE)
+        assert manager.region_of(region.address - 1) is None
+
+    def test_empty_manager(self, manager):
+        assert manager.region_of(0x1000) is None
+
+
+class TestFirstTouch:
+    def test_fault_count_matches_touched_pages(self, manager):
+        region = manager.allocate(4 * PAGE_SIZE)
+        faults = manager.touch(region, 0, 2 * PAGE_SIZE, toucher_node=1)
+        assert faults == 2
+        assert region.pages[:2] == [1, 1]
+        assert region.pages[2:] == [None, None]
+
+    def test_second_touch_does_not_fault(self, manager):
+        region = manager.allocate(PAGE_SIZE)
+        assert manager.touch(region, 0, 100, toucher_node=0) == 1
+        assert manager.touch(region, 0, 100, toucher_node=3) == 0
+        assert region.pages[0] == 0  # placement is sticky
+
+    def test_partial_page_access_faults_whole_page(self, manager):
+        region = manager.allocate(2 * PAGE_SIZE)
+        faults = manager.touch(region, PAGE_SIZE - 1, 2, toucher_node=2)
+        assert faults == 2
+
+    def test_out_of_bounds_touch_rejected(self, manager):
+        region = manager.allocate(PAGE_SIZE)
+        with pytest.raises(ValueError):
+            manager.touch(region, 0, PAGE_SIZE + 1, toucher_node=0)
+
+
+class TestPolicies:
+    def test_interleaved_round_robin(self, machine):
+        manager = MemoryManager(machine, policy=Interleaved(4))
+        region = manager.allocate(8 * PAGE_SIZE)
+        manager.touch(region, 0, 8 * PAGE_SIZE, toucher_node=0)
+        assert region.pages == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_random_placement_uses_all_nodes(self, machine):
+        manager = MemoryManager(machine,
+                                policy=RandomPlacement(4, seed=1))
+        region = manager.allocate(256 * PAGE_SIZE)
+        manager.touch(region, 0, 256 * PAGE_SIZE, toucher_node=0)
+        assert set(region.pages) == {0, 1, 2, 3}
+
+    def test_random_placement_deterministic(self, machine):
+        pages = []
+        for __ in range(2):
+            manager = MemoryManager(machine,
+                                    policy=RandomPlacement(4, seed=9))
+            region = manager.allocate(32 * PAGE_SIZE)
+            manager.touch(region, 0, 32 * PAGE_SIZE, toucher_node=0)
+            pages.append(list(region.pages))
+        assert pages[0] == pages[1]
+
+
+class TestAccessAccounting:
+    def test_single_node_fast_path(self, manager):
+        region = manager.allocate(4 * PAGE_SIZE)
+        manager.touch(region, 0, 4 * PAGE_SIZE, toucher_node=2)
+        assert region.uniform_node == 2
+        assert manager.access_nodes(region, 100, 5000) == {2: 5000}
+
+    def test_mixed_nodes_split_bytes(self, machine):
+        manager = MemoryManager(machine, policy=Interleaved(2))
+        region = manager.allocate(2 * PAGE_SIZE)
+        manager.touch(region, 0, 2 * PAGE_SIZE, toucher_node=0)
+        split = manager.access_nodes(region, 0, 2 * PAGE_SIZE)
+        assert split == {0: PAGE_SIZE, 1: PAGE_SIZE}
+
+    def test_straddling_access(self, machine):
+        manager = MemoryManager(machine, policy=Interleaved(2))
+        region = manager.allocate(2 * PAGE_SIZE)
+        manager.touch(region, 0, 2 * PAGE_SIZE, toucher_node=0)
+        split = manager.access_nodes(region, PAGE_SIZE - 100, 200)
+        assert split == {0: 100, 1: 100}
+
+    @given(offset=st.integers(min_value=0, max_value=PAGE_SIZE * 7),
+           size=st.integers(min_value=1, max_value=PAGE_SIZE * 2))
+    def test_bytes_conserved(self, offset, size):
+        machine = Machine(4, 2)
+        manager = MemoryManager(machine, policy=Interleaved(3))
+        region = manager.allocate(9 * PAGE_SIZE)
+        manager.touch(region, 0, 9 * PAGE_SIZE, toucher_node=0)
+        split = manager.access_nodes(region, offset, size)
+        assert sum(split.values()) == size
+
+
+class TestPredominantNode:
+    def test_majority_wins(self, manager):
+        region = manager.allocate(3 * PAGE_SIZE)
+        region.place_page(0, 1)
+        region.place_page(1, 1)
+        region.place_page(2, 0)
+        assert region.predominant_node() == 1
+
+    def test_unallocated_region_has_none(self, manager):
+        region = manager.allocate(PAGE_SIZE)
+        assert region.predominant_node() is None
+
+    def test_tie_broken_by_lower_node(self, manager):
+        region = manager.allocate(2 * PAGE_SIZE)
+        region.place_page(0, 3)
+        region.place_page(1, 1)
+        assert region.predominant_node() == 1

@@ -1,0 +1,168 @@
+"""Tests for derived metrics (Section II-A.5, Figs. 3/8/10)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (TaskTypeFilter, WorkerState,
+                        aggregate_counter_series,
+                        average_task_duration_series,
+                        bytes_between_nodes_series,
+                        counter_derivative_series, counter_ratio_series,
+                        discrete_derivative, interval_edges,
+                        state_count_series, task_duration_stats)
+
+
+class TestIntervalEdges:
+    def test_edges_cover_trace(self, seidel_trace_small):
+        trace = seidel_trace_small
+        edges = interval_edges(trace, 10)
+        assert edges[0] == trace.begin
+        assert edges[-1] == trace.end
+        assert len(edges) == 11
+
+    def test_invalid_interval_count(self, seidel_trace_small):
+        with pytest.raises(ValueError):
+            interval_edges(seidel_trace_small, 0)
+
+    def test_custom_range(self, seidel_trace_small):
+        edges = interval_edges(seidel_trace_small, 4, start=100, end=500)
+        assert list(edges) == [100, 200, 300, 400, 500]
+
+
+class TestStateCountSeries:
+    def test_counts_bounded_by_cores(self, seidel_trace_small):
+        trace = seidel_trace_small
+        for state in (WorkerState.RUNNING, WorkerState.IDLE):
+            __, counts = state_count_series(trace, state, 30)
+            assert (counts >= 0).all()
+            assert (counts <= trace.num_cores + 1e-9).all()
+
+    def test_total_time_conserved(self, seidel_trace_small):
+        """Sum over bins of count*width equals total time in state."""
+        trace = seidel_trace_small
+        edges, counts = state_count_series(trace, WorkerState.RUNNING, 25)
+        widths = np.diff(edges)
+        total = float((counts * widths).sum())
+        columns = trace.states.columns
+        keep = columns["state"] == int(WorkerState.RUNNING)
+        expected = float((columns["end"][keep]
+                          - columns["start"][keep]).sum())
+        assert total == pytest.approx(expected, rel=1e-9)
+
+    def test_single_core_subset(self, seidel_trace_small):
+        trace = seidel_trace_small
+        __, all_counts = state_count_series(trace, WorkerState.RUNNING,
+                                            20)
+        __, one = state_count_series(trace, WorkerState.RUNNING, 20,
+                                     cores=[0])
+        assert (one <= all_counts + 1e-9).all()
+        assert (one <= 1.0 + 1e-9).all()
+
+
+class TestAverageTaskDuration:
+    def test_weighted_average_in_duration_range(self, seidel_trace_small):
+        trace = seidel_trace_small
+        __, averages = average_task_duration_series(trace, 20)
+        columns = trace.tasks.columns
+        durations = columns["end"] - columns["start"]
+        positive = averages[averages > 0]
+        assert positive.min() >= durations.min()
+        assert positive.max() <= durations.max()
+
+    def test_filter_restricts_tasks(self, seidel_trace_small):
+        trace = seidel_trace_small
+        __, only_init = average_task_duration_series(
+            trace, 20, task_filter=TaskTypeFilter("seidel_init"))
+        # Init tasks run early: late bins must be zero.
+        assert only_init[-1] == 0.0
+
+    def test_uniform_durations_give_constant_series(self):
+        from repro.core import TopologyInfo, TraceBuilder
+        builder = TraceBuilder(TopologyInfo(1, 1))
+        for index in range(10):
+            builder.task_execution(index, 0, 0, index * 100,
+                                   index * 100 + 100)
+        trace = builder.build()
+        __, averages = average_task_duration_series(trace, 5)
+        assert averages == pytest.approx([100.0] * 5)
+
+
+class TestDerivatives:
+    def test_discrete_derivative_linear(self):
+        edges = np.asarray([0.0, 10.0, 20.0, 30.0])
+        values = np.asarray([0.0, 5.0, 10.0, 15.0])
+        assert discrete_derivative(edges, values) == pytest.approx(
+            [0.5, 0.5, 0.5])
+
+    def test_aggregate_counter_is_monotone_for_monotone_counters(
+            self, seidel_trace_small):
+        trace = seidel_trace_small
+        edges, totals = aggregate_counter_series(trace, "cache_misses",
+                                                 30)
+        assert (np.diff(totals) >= -1e-6).all()
+
+    def test_counter_derivative_non_negative(self, seidel_trace_small):
+        __, rates = counter_derivative_series(seidel_trace_small,
+                                              "cache_misses", 30)
+        assert (rates >= -1e-9).all()
+
+    def test_ratio_series_shape(self, seidel_trace_small):
+        edges, ratio = counter_ratio_series(
+            seidel_trace_small, "branch_mispredictions", "cache_misses",
+            15)
+        assert len(ratio) == 15
+        assert len(edges) == 16
+
+    def test_counter_accepts_id_or_name(self, seidel_trace_small):
+        trace = seidel_trace_small
+        counter_id = trace.counter_id("cache_misses")
+        __, by_name = aggregate_counter_series(trace, "cache_misses", 10)
+        __, by_id = aggregate_counter_series(trace, counter_id, 10)
+        assert by_name == pytest.approx(by_id)
+
+
+class TestRusageSeries:
+    def test_system_time_grows_only_during_faults(self,
+                                                  seidel_trace_small):
+        """Fig. 10: OS time and resident size increase almost
+        exclusively during initialization (the first-touch phase)."""
+        trace = seidel_trace_small
+        edges, rss = aggregate_counter_series(trace, "os_resident_kb", 20)
+        growth = np.diff(rss)
+        first_half = growth[:10].sum()
+        second_half = growth[10:].sum()
+        assert first_half > 0
+        assert second_half <= first_half * 0.05
+
+    def test_resident_size_totals_match_footprint(self,
+                                                  seidel_trace_small):
+        trace = seidel_trace_small
+        __, rss = aggregate_counter_series(trace, "os_resident_kb", 10)
+        # 36 regions of 16x16 doubles = 2 KiB each -> one 4 KiB page.
+        assert rss[-1] == pytest.approx(36 * 4, rel=0.01)
+
+
+class TestBytesBetweenNodes:
+    def test_totals_match_communication_matrix(self, seidel_trace_small):
+        from repro.core import communication_matrix
+        trace = seidel_trace_small
+        matrix = communication_matrix(trace, normalize=False)
+        src, dst = 1, 0
+        __, series = bytes_between_nodes_series(trace, src, dst, 10)
+        assert series.sum() == pytest.approx(matrix[src, dst])
+
+
+class TestDurationStats:
+    def test_matches_numpy(self, seidel_trace_small):
+        trace = seidel_trace_small
+        mean, std = task_duration_stats(trace)
+        columns = trace.tasks.columns
+        durations = (columns["end"] - columns["start"]).astype(float)
+        assert mean == pytest.approx(durations.mean())
+        assert std == pytest.approx(durations.std())
+
+    def test_empty_filter(self, seidel_trace_small):
+        from repro.core import DurationFilter
+        mean, std = task_duration_stats(
+            seidel_trace_small, DurationFilter(minimum=10**12))
+        assert (mean, std) == (0.0, 0.0)

@@ -1,0 +1,167 @@
+"""Tests for the Cholesky and pipeline workloads and machine files."""
+
+import pytest
+
+from repro.core import graph_from_program, task_type_profile
+from repro.runtime import (Machine, RandomStealScheduler, TraceCollector,
+                           fully_connected_machine, load_machine,
+                           machine_from_dict, machine_to_dict,
+                           mesh_machine, run_program, save_machine,
+                           validate_distances)
+from repro.workloads import (CholeskyConfig, PipelineConfig,
+                             build_cholesky, build_pipeline)
+
+
+@pytest.fixture(scope="module")
+def chol_machine():
+    return Machine(2, 4)
+
+
+class TestCholesky:
+    @pytest.fixture(scope="class")
+    def program(self):
+        return build_cholesky(Machine(2, 4),
+                              CholeskyConfig(blocks=5, block_dim=16))
+
+    def test_kernel_counts(self, program):
+        counts = {}
+        for task in program.tasks:
+            counts[task.task_type.name] = counts.get(
+                task.task_type.name, 0) + 1
+        n = 5
+        assert counts["chol_potrf"] == n
+        assert counts["chol_trsm"] == n * (n - 1) // 2
+        assert counts["chol_syrk"] == n * (n - 1) // 2
+        assert counts["chol_gemm"] == sum(
+            i - k - 1 for k in range(n) for i in range(k + 1, n))
+
+    def test_potrf_chain_is_serial(self, program):
+        """potrf(k+1) transitively depends on potrf(k)."""
+        graph = graph_from_program(program)
+        depths = graph.depths()
+        potrfs = sorted((task.metadata["k"], depths[task.task_id])
+                        for task in program.tasks
+                        if task.task_type.name == "chol_potrf")
+        for (__, d1), (__k, d2) in zip(potrfs, potrfs[1:]):
+            assert d2 > d1
+
+    def test_executes_and_profiles(self, program, chol_machine):
+        collector = TraceCollector(chol_machine)
+        result, trace = run_program(
+            program, RandomStealScheduler(chol_machine, seed=0),
+            collector=collector)
+        assert result.tasks_executed == len(program.tasks)
+        profile = task_type_profile(trace)
+        names = [entry.type_name for entry in profile]
+        assert "chol_gemm" in names
+
+    def test_acyclic(self, program):
+        assert program.validate_acyclic()
+
+
+class TestPipeline:
+    def test_stateful_stage_serializes(self, chol_machine):
+        config = PipelineConfig(frames=6,
+                                stage_costs=(1000, 1000),
+                                stateful=(True, True))
+        program = build_pipeline(chol_machine, config)
+        graph = graph_from_program(program)
+        depths = graph.depths()
+        stage0 = sorted((task.metadata["frame"], depths[task.task_id])
+                        for task in program.tasks
+                        if task.metadata["stage"] == 0)
+        for (__, d1), (__f, d2) in zip(stage0, stage0[1:]):
+            assert d2 > d1
+
+    def test_stateless_stage_parallel_across_frames(self, chol_machine):
+        config = PipelineConfig(frames=6, stage_costs=(1000, 1000),
+                                stateful=(False, False))
+        program = build_pipeline(chol_machine, config)
+        graph = graph_from_program(program)
+        depths = graph.depths()
+        stage0_depths = {depths[task.task_id]
+                         for task in program.tasks
+                         if task.metadata["stage"] == 0}
+        assert stage0_depths == {0}
+
+    def test_stage_order_per_frame(self, chol_machine):
+        config = PipelineConfig(frames=4, stage_costs=(500, 500, 500))
+        program = build_pipeline(chol_machine, config)
+        collector = TraceCollector(chol_machine)
+        __, trace = run_program(
+            program, RandomStealScheduler(chol_machine, seed=1),
+            collector=collector)
+        ends = {}
+        for task in program.tasks:
+            execution = trace.task_by_id(task.task_id)
+            ends[(task.metadata["stage"], task.metadata["frame"])] = (
+                execution.start, execution.end)
+        for frame in range(4):
+            for stage in range(2):
+                assert ends[(stage, frame)][1] \
+                    <= ends[(stage + 1, frame)][0]
+
+    def test_bottleneck_stage_dominates_profile(self, chol_machine):
+        config = PipelineConfig(frames=16,
+                                stage_costs=(5000, 50_000, 5000),
+                                frame_bytes=2048)
+        program = build_pipeline(chol_machine, config)
+        collector = TraceCollector(chol_machine)
+        __, trace = run_program(
+            program, RandomStealScheduler(chol_machine, seed=1),
+            collector=collector)
+        profile = task_type_profile(trace)
+        assert profile[0].type_name == "pipe_stage1"
+        assert profile[0].share_of_execution > 0.5
+
+    def test_mismatched_stateful_flags_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(frames=2, stage_costs=(1, 2),
+                           stateful=(True,))
+
+
+class TestMachineFiles:
+    def test_roundtrip(self, tmp_path):
+        machine = Machine(4, 8, name="round")
+        path = tmp_path / "machine.json"
+        save_machine(machine, str(path))
+        loaded = load_machine(str(path))
+        assert loaded.name == "round"
+        assert loaded.num_cores == machine.num_cores
+        for a in range(4):
+            for b in range(4):
+                assert loaded.distance(a, b) == machine.distance(a, b)
+
+    def test_custom_distances_validated(self):
+        with pytest.raises(ValueError):
+            machine_from_dict({"num_nodes": 2, "cores_per_node": 1,
+                               "distances": [[10, 15], [20, 10]]})
+        with pytest.raises(ValueError):
+            machine_from_dict({"num_nodes": 2, "cores_per_node": 1,
+                               "distances": [[11, 20], [20, 10]]})
+        with pytest.raises(ValueError):
+            machine_from_dict({"num_nodes": 2, "cores_per_node": 1,
+                               "distances": [[10, 5], [5, 10]]})
+
+    def test_mesh_distances(self):
+        machine = mesh_machine(2, 3, cores_per_node=2)
+        assert machine.num_nodes == 6
+        # Nodes 0 and 1 are one hop apart; 0 and 5 are three.
+        assert machine.distance(0, 1) < machine.distance(0, 5)
+        assert validate_distances(
+            [[machine.distance(a, b) for b in range(6)]
+             for a in range(6)], 6)
+
+    def test_fully_connected_uniform(self):
+        machine = fully_connected_machine(4)
+        remotes = {machine.distance(a, b)
+                   for a in range(4) for b in range(4) if a != b}
+        assert len(remotes) == 1
+
+    def test_simulation_on_mesh(self):
+        from repro.workloads import build_fork_join
+        machine = mesh_machine(2, 2, cores_per_node=2)
+        program = build_fork_join(machine, width=8)
+        result, __ = run_program(program,
+                                 RandomStealScheduler(machine, seed=0))
+        assert result.tasks_executed == len(program.tasks)

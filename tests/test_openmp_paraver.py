@@ -1,0 +1,135 @@
+"""Tests for the OpenMP-style frontend and the Paraver exporter."""
+
+import pytest
+
+from repro.core import graph_from_program
+from repro.runtime import (Machine, RandomStealScheduler, TraceCollector,
+                           run_program)
+from repro.trace_format import export_paraver
+from repro.workloads import OpenMPProgram, build_fibonacci, \
+    build_mergesort
+
+
+@pytest.fixture
+def omp_machine():
+    return Machine(2, 4)
+
+
+class TestOpenMPFrontend:
+    def test_depend_in_after_out(self, omp_machine):
+        omp = OpenMPProgram(omp_machine)
+        producer = omp.task("produce", 100, depend_out=["x"])
+        consumer = omp.task("consume", 100, depend_in=["x"])
+        program = omp.finalize()
+        assert consumer.dependencies == [producer]
+
+    def test_depend_inout_chains(self, omp_machine):
+        omp = OpenMPProgram(omp_machine)
+        first = omp.task("init", 100, depend_out=["acc"])
+        second = omp.task("add", 100, depend_inout=["acc"])
+        third = omp.task("add", 100, depend_inout=["acc"])
+        omp.finalize()
+        assert second.dependencies == [first]
+        assert third.dependencies == [second]
+
+    def test_independent_variables_parallel(self, omp_machine):
+        omp = OpenMPProgram(omp_machine)
+        a = omp.task("a", 100, depend_out=["x"])
+        b = omp.task("b", 100, depend_out=["y"])
+        omp.finalize()
+        assert a.dependencies == [] and b.dependencies == []
+
+    def test_variable_sizes(self, omp_machine):
+        omp = OpenMPProgram(omp_machine, variable_bytes=128)
+        region = omp.variable("big", size=10_000)
+        assert region.size == 10_000
+        assert omp.variable("big") is region
+        assert omp.variable("small").size == 128
+
+
+class TestFibonacci:
+    def test_structure_and_execution(self, omp_machine):
+        program = build_fibonacci(omp_machine, n=8)
+        graph = graph_from_program(program)
+        # The combine chain forces depth ~n.
+        assert graph.max_depth() >= 5
+        collector = TraceCollector(omp_machine)
+        result, trace = run_program(
+            program, RandomStealScheduler(omp_machine, seed=1),
+            collector=collector)
+        assert result.tasks_executed == len(program.tasks)
+
+    def test_dynamic_creation_chains(self, omp_machine):
+        program = build_fibonacci(omp_machine, n=7)
+        created_dynamically = [task for task in program.tasks
+                               if task.creator is not None]
+        assert len(created_dynamically) > len(program.tasks) // 2
+
+    def test_task_types(self, omp_machine):
+        program = build_fibonacci(omp_machine, n=6)
+        names = {task_type.name for task_type in program.task_types}
+        assert names == {"fib_leaf", "fib_spawn", "fib_combine"}
+
+
+class TestMergesort:
+    def test_structure(self, omp_machine):
+        program = build_mergesort(omp_machine, elements=1 << 14,
+                                  leaf_elements=1 << 11)
+        graph = graph_from_program(program)
+        leaves = [task for task in program.tasks
+                  if task.task_type.name == "msort_leaf"]
+        merges = [task for task in program.tasks
+                  if task.task_type.name == "msort_merge"]
+        assert len(leaves) == 8
+        assert len(merges) == 7     # a balanced binary merge tree
+        assert program.validate_acyclic()
+
+    def test_executes_serial_merge_root_last(self, omp_machine):
+        program = build_mergesort(omp_machine, elements=1 << 13,
+                                  leaf_elements=1 << 11)
+        collector = TraceCollector(omp_machine)
+        __, trace = run_program(
+            program, RandomStealScheduler(omp_machine, seed=2),
+            collector=collector)
+        merges = [execution for execution in trace.task_executions()
+                  if trace.task_types[execution.type_id].name
+                  == "msort_merge"]
+        last = max(trace.task_executions(), key=lambda e: e.end)
+        assert trace.task_types[last.type_id].name == "msort_merge"
+
+
+class TestParaverExport:
+    def test_export_files(self, seidel_trace_small, tmp_path):
+        path = tmp_path / "seidel.prv"
+        records = export_paraver(seidel_trace_small, str(path))
+        assert records == (len(seidel_trace_small.states)
+                           + len(seidel_trace_small.tasks)
+                           + len(seidel_trace_small.discrete))
+        prv = path.read_text().splitlines()
+        assert prv[0].startswith("#Paraver")
+        assert len(prv) == records + 1
+        pcf = (tmp_path / "seidel.pcf").read_text()
+        assert "task execution" in pcf
+        assert "seidel_block" in pcf
+
+    def test_records_time_sorted(self, seidel_trace_small, tmp_path):
+        path = tmp_path / "sorted.prv"
+        export_paraver(seidel_trace_small, str(path))
+        times = []
+        for line in path.read_text().splitlines()[1:]:
+            fields = line.split(":")
+            times.append(int(fields[5]))
+        assert times == sorted(times)
+
+    def test_state_ids_offset_by_one(self, seidel_trace_small,
+                                     tmp_path):
+        path = tmp_path / "states.prv"
+        export_paraver(seidel_trace_small, str(path))
+        state_values = {int(line.split(":")[-1])
+                        for line in path.read_text().splitlines()[1:]
+                        if line.startswith("1:")}
+        assert 0 not in state_values     # 0 is reserved for idle
+
+    def test_requires_prv_suffix(self, seidel_trace_small, tmp_path):
+        with pytest.raises(ValueError):
+            export_paraver(seidel_trace_small, str(tmp_path / "x.trace"))

@@ -1,0 +1,185 @@
+"""Tests for task declaration and dependence derivation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime import Machine, Program
+from repro.runtime.task import Access
+
+
+@pytest.fixture
+def machine():
+    return Machine(2, 2)
+
+
+def make_program(machine):
+    return Program(machine, name="unit")
+
+
+class TestSpawn:
+    def test_task_ids_are_dense(self, machine):
+        program = make_program(machine)
+        tasks = [program.spawn("work", 100) for __ in range(5)]
+        assert [task.task_id for task in tasks] == [0, 1, 2, 3, 4]
+
+    def test_task_types_are_interned(self, machine):
+        program = make_program(machine)
+        first = program.spawn("alpha", 1)
+        second = program.spawn("alpha", 1)
+        third = program.spawn("beta", 1)
+        assert first.task_type is second.task_type
+        assert third.task_type is not first.task_type
+        assert len(program.task_types) == 2
+
+    def test_type_addresses_distinct(self, machine):
+        program = make_program(machine)
+        program.spawn("a", 1)
+        program.spawn("b", 1)
+        addresses = [t.address for t in program.task_types]
+        assert len(set(addresses)) == 2
+
+    def test_spawn_after_finalize_rejected(self, machine):
+        program = make_program(machine)
+        program.spawn("a", 1)
+        program.finalize()
+        with pytest.raises(RuntimeError):
+            program.spawn("b", 1)
+
+    def test_negative_work_rejected(self, machine):
+        program = make_program(machine)
+        with pytest.raises(ValueError):
+            program.spawn("a", -5)
+
+
+class TestAccessValidation:
+    def test_access_overrun_rejected(self, machine):
+        program = make_program(machine)
+        region = program.allocate(100)
+        with pytest.raises(ValueError):
+            program.spawn("a", 1, writes=[(region, 50, 51)])
+
+    def test_access_overlap_predicate(self, machine):
+        program = make_program(machine)
+        region = program.allocate(1000)
+        a = Access(region, 0, 100, is_write=True)
+        b = Access(region, 50, 100, is_write=False)
+        c = Access(region, 100, 100, is_write=False)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_overlap_requires_same_region(self, machine):
+        program = make_program(machine)
+        first = program.allocate(1000)
+        second = program.allocate(1000)
+        a = Access(first, 0, 100, is_write=True)
+        b = Access(second, 0, 100, is_write=False)
+        assert not a.overlaps(b)
+
+
+class TestDependenceDerivation:
+    def test_reader_depends_on_last_writer(self, machine):
+        program = make_program(machine)
+        region = program.allocate(1000)
+        w1 = program.spawn("w", 1, writes=[(region, 0, 1000)])
+        w2 = program.spawn("w", 1, reads=[(region, 0, 1000)],
+                           writes=[(region, 0, 1000)])
+        reader = program.spawn("r", 1, reads=[(region, 0, 1000)])
+        program.finalize()
+        assert reader.dependencies == [w2]
+        assert w2.dependencies == [w1]
+
+    def test_partial_cover_links_multiple_writers(self, machine):
+        program = make_program(machine)
+        region = program.allocate(1000)
+        left = program.spawn("w", 1, writes=[(region, 0, 500)])
+        right = program.spawn("w", 1, writes=[(region, 500, 500)])
+        reader = program.spawn("r", 1, reads=[(region, 0, 1000)])
+        program.finalize()
+        assert set(reader.dependencies) == {left, right}
+
+    def test_disjoint_ranges_no_dependence(self, machine):
+        program = make_program(machine)
+        region = program.allocate(1000)
+        writer = program.spawn("w", 1, writes=[(region, 0, 100)])
+        reader = program.spawn("r", 1, reads=[(region, 500, 100)])
+        program.finalize()
+        assert reader.dependencies == []
+        assert writer.dependents == []
+
+    def test_later_writer_invisible(self, machine):
+        program = make_program(machine)
+        region = program.allocate(100)
+        producer = program.spawn("w", 1, writes=[(region, 0, 100)])
+        reader = program.spawn("r", 1, reads=[(region, 0, 100)])
+        program.spawn("w2", 1, writes=[(region, 0, 100)])
+        program.finalize()
+        assert reader.dependencies == [producer]
+
+    def test_no_self_dependence(self, machine):
+        program = make_program(machine)
+        region = program.allocate(100)
+        task = program.spawn("rw", 1, reads=[(region, 0, 100)],
+                             writes=[(region, 0, 100)])
+        program.finalize()
+        assert task.dependencies == []
+
+    def test_duplicate_edges_collapse(self, machine):
+        program = make_program(machine)
+        region = program.allocate(1000)
+        writer = program.spawn("w", 1, writes=[(region, 0, 1000)])
+        reader = program.spawn("r", 1, reads=[(region, 0, 400),
+                                              (region, 600, 400)])
+        program.finalize()
+        assert reader.dependencies == [writer]
+        assert writer.dependents == [reader]
+
+    def test_finalize_idempotent(self, machine):
+        program = make_program(machine)
+        region = program.allocate(100)
+        program.spawn("w", 1, writes=[(region, 0, 100)])
+        reader = program.spawn("r", 1, reads=[(region, 0, 100)])
+        program.finalize()
+        program.finalize()
+        assert len(reader.dependencies) == 1
+
+    def test_roots_are_dependence_free(self, machine):
+        program = make_program(machine)
+        region = program.allocate(100)
+        writer = program.spawn("w", 1, writes=[(region, 0, 100)])
+        program.spawn("r", 1, reads=[(region, 0, 100)])
+        program.finalize()
+        assert program.roots() == [writer]
+
+    def test_derived_graph_is_acyclic(self, machine):
+        program = make_program(machine)
+        region = program.allocate(100)
+        previous = program.spawn("w", 1, writes=[(region, 0, 100)])
+        for __ in range(10):
+            previous = program.spawn(
+                "w", 1, reads=[(region, 0, 100)],
+                writes=[(region, 0, 100)])
+        program.finalize()
+        assert program.validate_acyclic()
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_dependences_always_point_backwards(self, seed):
+        """Property: in declaration order, every dependence edge goes
+        from an earlier task to a later one (acyclicity by construction)."""
+        import random
+        rng = random.Random(seed)
+        machine = Machine(2, 2)
+        program = make_program(machine)
+        regions = [program.allocate(4096) for __ in range(5)]
+        for __ in range(30):
+            region = rng.choice(regions)
+            offset = rng.randrange(0, 2048)
+            size = rng.randrange(1, 2048)
+            if rng.random() < 0.5:
+                program.spawn("w", 1, writes=[(region, offset, size)])
+            else:
+                program.spawn("r", 1, reads=[(region, offset, size)])
+        program.finalize()
+        for task in program.tasks:
+            for dependency in task.dependencies:
+                assert dependency.task_id < task.task_id

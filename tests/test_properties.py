@@ -1,0 +1,158 @@
+"""Cross-cutting property-based tests: random programs through the
+whole pipeline (simulate -> trace -> analyze -> serialize)."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import (WorkerState, average_parallelism,
+                        graph_from_program, reconstruct_task_graph,
+                        state_time_summary)
+from repro.runtime import (Machine, NumaAwareScheduler,
+                           RandomStealScheduler, TraceCollector,
+                           run_program)
+from repro.trace_format.reader import read_trace_stream
+from repro.trace_format.writer import TraceWriter
+from repro.workloads import build_random_dag
+
+SLOW = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def simulate_random(machine_shape, dag_seed, scheduler_seed,
+                    numa_aware=False, num_tasks=40):
+    nodes, per_node = machine_shape
+    machine = Machine(nodes, per_node)
+    program = build_random_dag(machine, num_tasks=num_tasks,
+                               seed=dag_seed)
+    scheduler = (NumaAwareScheduler(machine, seed=scheduler_seed)
+                 if numa_aware
+                 else RandomStealScheduler(machine, seed=scheduler_seed))
+    collector = TraceCollector(machine)
+    return run_program(program, scheduler, collector=collector), program
+
+
+@st.composite
+def machine_shapes(draw):
+    return (draw(st.integers(min_value=1, max_value=6)),
+            draw(st.integers(min_value=1, max_value=6)))
+
+
+class TestSimulationProperties:
+    @given(shape=machine_shapes(), dag_seed=st.integers(0, 100),
+           scheduler_seed=st.integers(0, 100),
+           numa=st.booleans())
+    @SLOW
+    def test_every_task_runs_once_and_in_order(self, shape, dag_seed,
+                                               scheduler_seed, numa):
+        (result, trace), program = simulate_random(
+            shape, dag_seed, scheduler_seed, numa_aware=numa)
+        # Completeness.
+        executed = sorted(trace.tasks.columns["task_id"])
+        assert executed == [task.task_id for task in program.tasks]
+        # Dependence order.
+        executions = {execution.task_id: execution
+                      for execution in trace.task_executions()}
+        for task in program.tasks:
+            for dependency in task.dependencies:
+                assert (executions[dependency.task_id].end
+                        <= executions[task.task_id].start)
+        # Makespan covers the last completion.
+        assert result.makespan == max(execution.end for execution
+                                      in executions.values())
+
+    @given(shape=machine_shapes(), dag_seed=st.integers(0, 100),
+           scheduler_seed=st.integers(0, 100))
+    @SLOW
+    def test_states_partition_worker_time(self, shape, dag_seed,
+                                          scheduler_seed):
+        """Per core, state intervals never overlap; per-state totals
+        sum to the per-core busy span."""
+        (result, trace), __ = simulate_random(shape, dag_seed,
+                                              scheduler_seed)
+        for core in range(trace.num_cores):
+            starts = trace.states.core_column(core, "start")
+            ends = trace.states.core_column(core, "end")
+            assert (ends[:-1] <= starts[1:]).all()
+            assert (ends > starts).all()
+
+    @given(shape=machine_shapes(), dag_seed=st.integers(0, 100),
+           scheduler_seed=st.integers(0, 100))
+    @SLOW
+    def test_reconstruction_matches_ground_truth(self, shape, dag_seed,
+                                                 scheduler_seed):
+        (__, trace), program = simulate_random(shape, dag_seed,
+                                               scheduler_seed)
+        truth = graph_from_program(program)
+        rebuilt = reconstruct_task_graph(trace)
+        truth_edges = {(src, dst) for src in truth.successors
+                       for dst in truth.successors[src]}
+        rebuilt_edges = {(src, dst) for src in rebuilt.successors
+                         for dst in rebuilt.successors[src]}
+        assert rebuilt_edges == truth_edges
+
+    @given(shape=machine_shapes(), dag_seed=st.integers(0, 100),
+           scheduler_seed=st.integers(0, 100))
+    @SLOW
+    def test_parallelism_bounded_by_cores(self, shape, dag_seed,
+                                          scheduler_seed):
+        (__, trace), __p = simulate_random(shape, dag_seed,
+                                           scheduler_seed)
+        assert average_parallelism(trace) <= trace.num_cores + 1e-9
+
+
+class TestFormatProperties:
+    @given(dag_seed=st.integers(0, 100),
+           scheduler_seed=st.integers(0, 100))
+    @SLOW
+    def test_serialization_roundtrip_arbitrary_traces(self, dag_seed,
+                                                      scheduler_seed):
+        (__, trace), __p = simulate_random((2, 2), dag_seed,
+                                           scheduler_seed, num_tasks=25)
+        buffer = io.BytesIO()
+        writer = TraceWriter(buffer)
+        writer.topology(trace.topology)
+        for description in trace.counter_descriptions:
+            writer.counter_description(description)
+        for info in trace.task_types:
+            writer.task_type(info)
+        for info in trace.regions:
+            writer.region(info)
+        for interval in trace.state_intervals():
+            writer.state_interval(interval.core, interval.state,
+                                  interval.start, interval.end)
+        for execution in trace.task_executions():
+            writer.task_execution(execution.task_id, execution.type_id,
+                                  execution.core, execution.start,
+                                  execution.end)
+        buffer.seek(0)
+        loaded = read_trace_stream(buffer)
+        assert state_time_summary(loaded) == state_time_summary(trace)
+        assert len(loaded.tasks) == len(trace.tasks)
+
+    @given(payload=st.binary(min_size=0, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_reader_rejects_garbage_without_crashing(self, payload):
+        """Fuzz: arbitrary bytes either parse as an (unlikely) valid
+        trace or raise FormatError — never another exception."""
+        from repro.trace_format import FormatError
+        buffer = io.BytesIO(payload)
+        try:
+            read_trace_stream(buffer)
+        except FormatError:
+            pass
+
+    @given(payload=st.binary(min_size=0, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_reader_rejects_corrupted_tail(self, payload):
+        """Fuzz: a valid header followed by garbage raises FormatError."""
+        import struct
+        from repro.trace_format import FormatError, MAGIC, VERSION
+        buffer = io.BytesIO(struct.pack("<4sI", MAGIC, VERSION)
+                            + payload)
+        try:
+            read_trace_stream(buffer)
+        except FormatError:
+            pass

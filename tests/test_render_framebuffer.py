@@ -1,0 +1,100 @@
+"""Tests for the software framebuffer."""
+
+import numpy as np
+import pytest
+
+from repro.render import Framebuffer
+
+
+class TestConstruction:
+    def test_background_fill(self):
+        fb = Framebuffer(10, 5, background=(1, 2, 3))
+        assert (fb.pixels == (1, 2, 3)).all()
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Framebuffer(0, 5)
+
+
+class TestFillRect:
+    def test_basic_fill(self):
+        fb = Framebuffer(10, 10)
+        fb.fill_rect(2, 3, 4, 2, (9, 9, 9))
+        assert (fb.pixels[3:5, 2:6] == 9).all()
+        assert (fb.pixels[0, 0] == 0).all()
+        assert fb.rect_calls == 1
+        assert fb.pixels_drawn == 8
+
+    def test_clipping(self):
+        fb = Framebuffer(4, 4)
+        fb.fill_rect(-2, -2, 10, 10, (5, 5, 5))
+        assert (fb.pixels == 5).all()
+        assert fb.pixels_drawn == 16
+
+    def test_fully_outside_is_noop(self):
+        fb = Framebuffer(4, 4)
+        fb.fill_rect(10, 10, 2, 2, (5, 5, 5))
+        assert fb.rect_calls == 0
+        assert (fb.pixels == 0).all()
+
+
+class TestLines:
+    def test_vertical_line(self):
+        fb = Framebuffer(5, 10)
+        fb.vertical_line(2, 3, 7, (8, 8, 8))
+        assert (fb.pixels[3:8, 2] == 8).all()
+        assert fb.line_calls == 1
+
+    def test_vertical_line_swapped_ends(self):
+        fb = Framebuffer(5, 10)
+        fb.vertical_line(1, 7, 3, (8, 8, 8))
+        assert (fb.pixels[3:8, 1] == 8).all()
+
+    def test_vertical_line_clipped(self):
+        fb = Framebuffer(5, 5)
+        fb.vertical_line(0, -10, 10, (1, 1, 1))
+        assert (fb.pixels[:, 0] == 1).all()
+
+    def test_diagonal_line_endpoints(self):
+        fb = Framebuffer(10, 10)
+        fb.draw_line(0, 0, 9, 9, (7, 7, 7))
+        assert (fb.pixels[0, 0] == 7).all()
+        assert (fb.pixels[9, 9] == 7).all()
+        assert fb.pixels_drawn == 10
+
+    def test_horizontal_line(self):
+        fb = Framebuffer(10, 3)
+        fb.draw_line(1, 1, 8, 1, (4, 4, 4))
+        assert (fb.pixels[1, 1:9] == 4).all()
+
+
+class TestAccounting:
+    def test_reset_counters(self):
+        fb = Framebuffer(5, 5)
+        fb.fill_rect(0, 0, 2, 2, (1, 1, 1))
+        fb.vertical_line(0, 0, 4, (1, 1, 1))
+        assert fb.draw_calls == 2
+        fb.reset_counters()
+        assert fb.draw_calls == 0
+        assert fb.pixels_drawn == 0
+
+
+class TestExport:
+    def test_ppm_header_and_size(self, tmp_path):
+        fb = Framebuffer(7, 3)
+        fb.fill_rect(0, 0, 7, 3, (10, 20, 30))
+        path = tmp_path / "out.ppm"
+        fb.save_ppm(str(path))
+        data = path.read_bytes()
+        assert data.startswith(b"P6\n7 3\n255\n")
+        assert len(data) == len(b"P6\n7 3\n255\n") + 7 * 3 * 3
+
+    def test_unique_colors(self):
+        fb = Framebuffer(4, 4, background=(0, 0, 0))
+        fb.fill_rect(0, 0, 2, 2, (1, 2, 3))
+        assert fb.unique_colors() == {(0, 0, 0), (1, 2, 3)}
+
+    def test_column(self):
+        fb = Framebuffer(4, 4)
+        fb.vertical_line(1, 0, 3, (9, 9, 9))
+        assert (fb.column(1) == 9).all()

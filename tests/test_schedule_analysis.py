@@ -1,0 +1,120 @@
+"""Tests for critical-path, scheduling-delay and type-profile analyses."""
+
+import pytest
+
+from repro.core import (TaskGraph, critical_path_report,
+                        describe_profile, reconstruct_task_graph,
+                        scheduling_delays, task_type_profile)
+
+
+class TestWeightedCriticalPath:
+    def test_unweighted_equals_depth_chain(self):
+        graph = TaskGraph()
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(0, 2)
+        length, path = graph.critical_path()
+        assert length == 3          # three tasks of weight 1
+        assert path == [0, 1, 2]
+
+    def test_weights_can_reroute_path(self):
+        graph = TaskGraph()
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 2)
+        graph.add_edge(1, 3)
+        graph.add_edge(2, 3)
+        weights = {0: 1, 1: 100, 2: 1, 3: 1}
+        length, path = graph.critical_path(weights)
+        assert length == 102
+        assert path == [0, 1, 3]
+
+    def test_empty_graph(self):
+        assert TaskGraph().critical_path() == (0, [])
+
+    def test_isolated_node(self):
+        graph = TaskGraph()
+        graph.add_node(7)
+        length, path = graph.critical_path({7: 42})
+        assert (length, path) == (42, [7])
+
+
+class TestCriticalPathReport:
+    def test_bounds_hold(self, seidel_trace_small):
+        report = critical_path_report(seidel_trace_small)
+        assert 0 < report.length_cycles <= report.total_work_cycles
+        # The makespan can never beat the critical path.
+        assert report.makespan >= report.length_cycles
+        assert report.max_speedup >= 1.0
+        assert 0 < report.schedule_efficiency <= 1.0
+
+    def test_path_is_a_dependence_chain(self, seidel_trace_small):
+        trace = seidel_trace_small
+        graph = reconstruct_task_graph(trace)
+        report = critical_path_report(trace, graph)
+        for src, dst in zip(report.path, report.path[1:]):
+            assert dst in graph.successors[src]
+
+    def test_serial_chain_efficiency(self, machine):
+        from repro.runtime import (RandomStealScheduler, TraceCollector,
+                                   run_program)
+        from repro.workloads import build_chain
+        program = build_chain(machine, length=6)
+        collector = TraceCollector(machine)
+        __, trace = run_program(program,
+                                RandomStealScheduler(machine, seed=0),
+                                collector=collector)
+        report = critical_path_report(trace)
+        # A chain is all critical path: max speedup 1.
+        assert report.max_speedup == pytest.approx(1.0)
+        assert report.schedule_efficiency > 0.9
+
+    def test_describe(self, seidel_trace_small):
+        text = critical_path_report(seidel_trace_small).describe()
+        assert "max speedup" in text
+
+
+class TestSchedulingDelays:
+    def test_delays_non_negative(self, seidel_trace_small):
+        delays = scheduling_delays(seidel_trace_small)
+        assert len(delays) == len(seidel_trace_small.tasks)
+        assert all(delay >= 0 for delay in delays.values())
+
+    def test_serial_chain_has_small_delays(self, machine):
+        from repro.runtime import (RandomStealScheduler, SimConfig,
+                                   TraceCollector, run_program)
+        from repro.workloads import build_chain
+        program = build_chain(machine, length=5)
+        collector = TraceCollector(machine)
+        __, trace = run_program(program,
+                                RandomStealScheduler(machine, seed=0),
+                                collector=collector)
+        delays = scheduling_delays(trace)
+        # Each chain link starts shortly after its predecessor ends:
+        # the delay is bounded by wake/steal latency, far below the
+        # task duration.
+        durations = [execution.duration
+                     for execution in trace.task_executions()]
+        for task_id, delay in delays.items():
+            assert delay < min(durations)
+
+
+class TestTypeProfile:
+    def test_shares_sum_to_one(self, seidel_trace_small):
+        entries = task_type_profile(seidel_trace_small)
+        assert sum(entry.share_of_execution
+                   for entry in entries) == pytest.approx(1.0)
+
+    def test_sorted_by_total(self, seidel_trace_small):
+        entries = task_type_profile(seidel_trace_small)
+        totals = [entry.total_cycles for entry in entries]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_counts_match_trace(self, seidel_trace_small):
+        entries = task_type_profile(seidel_trace_small)
+        assert sum(entry.tasks for entry in entries) \
+            == len(seidel_trace_small.tasks)
+
+    def test_describe_table(self, seidel_trace_small):
+        text = describe_profile(task_type_profile(seidel_trace_small))
+        assert "seidel_block" in text
+        assert "share" in text

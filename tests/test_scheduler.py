@@ -1,0 +1,130 @@
+"""Tests for the work-stealing schedulers."""
+
+import pytest
+
+from repro.runtime import (Machine, NumaAwareScheduler, Program,
+                           RandomStealScheduler)
+
+
+@pytest.fixture
+def machine():
+    return Machine(2, 2)
+
+
+def make_task(machine, reads=()):
+    program = Program(machine)
+    task = program.spawn("t", 100, reads=reads)
+    return program, task
+
+
+class TestQueueMechanics:
+    def test_enqueue_pop_local_lifo(self, machine):
+        scheduler = RandomStealScheduler(machine)
+        program = Program(machine)
+        first = program.spawn("a", 1)
+        second = program.spawn("b", 1)
+        scheduler.enqueue(first, 0)
+        scheduler.enqueue(second, 0)
+        assert scheduler.pop_local(0) is second    # depth-first
+        assert scheduler.pop_local(0) is first
+
+    def test_pop_empty_returns_none(self, machine):
+        assert RandomStealScheduler(machine).pop_local(1) is None
+
+    def test_steal_takes_oldest(self, machine):
+        scheduler = RandomStealScheduler(machine, seed=0)
+        program = Program(machine)
+        first = program.spawn("a", 1)
+        second = program.spawn("b", 1)
+        scheduler.enqueue(first, 0)
+        scheduler.enqueue(second, 0)
+        stolen, victim = scheduler.steal(3)
+        assert stolen is first                      # breadth-first steal
+        assert victim == 0
+
+    def test_steal_empty_returns_none(self, machine):
+        assert RandomStealScheduler(machine, seed=0).steal(0) is None
+
+    def test_queued_tasks_count(self, machine):
+        scheduler = RandomStealScheduler(machine)
+        program = Program(machine)
+        for index in range(5):
+            scheduler.enqueue(program.spawn(str(index), 1), index % 4)
+        assert scheduler.queued_tasks() == 5
+
+
+class TestRandomPlacement:
+    def test_random_scheduler_keeps_origin(self, machine):
+        scheduler = RandomStealScheduler(machine)
+        program, task = make_task(machine)
+        assert scheduler.enqueue(task, 3) == 3
+
+
+class TestNumaAwarePlacement:
+    def test_places_near_input_data(self, machine):
+        scheduler = NumaAwareScheduler(machine)
+        program = Program(machine)
+        region = program.allocate(8 * 4096)
+        program.memory.touch(region, 0, region.size, toucher_node=1)
+        task = program.spawn("t", 1, reads=[(region, 0, region.size)])
+        core = scheduler.enqueue(task, 0)
+        assert machine.node_of_core(core) == 1
+
+    def test_input_less_tasks_spread_round_robin(self, machine):
+        scheduler = NumaAwareScheduler(machine)
+        program = Program(machine)
+        nodes = []
+        for index in range(4):
+            task = program.spawn(str(index), 1)
+            nodes.append(machine.node_of_core(
+                scheduler.enqueue(task, 0)))
+        assert nodes == [0, 1, 0, 1]
+
+    def test_prefers_majority_node(self, machine):
+        scheduler = NumaAwareScheduler(machine)
+        program = Program(machine)
+        big = program.allocate(8 * 4096)
+        small = program.allocate(4096)
+        program.memory.touch(big, 0, big.size, toucher_node=1)
+        program.memory.touch(small, 0, small.size, toucher_node=0)
+        task = program.spawn("t", 1, reads=[(big, 0, big.size),
+                                            (small, 0, small.size)])
+        core = scheduler.enqueue(task, 0)
+        assert machine.node_of_core(core) == 1
+
+    def test_least_loaded_core_chosen(self, machine):
+        scheduler = NumaAwareScheduler(machine)
+        program = Program(machine)
+        region = program.allocate(4096)
+        program.memory.touch(region, 0, 4096, toucher_node=0)
+        cores = [scheduler.enqueue(
+            program.spawn(str(index), 1,
+                          reads=[(region, 0, 4096)]), 0)
+            for index in range(2)]
+        # Node 0 has cores {0, 1}; load balancing alternates them.
+        assert set(cores) == {0, 1}
+
+    def test_local_steal_only_by_default(self, machine):
+        scheduler = NumaAwareScheduler(machine, seed=0)
+        program = Program(machine)
+        task = program.spawn("t", 1)
+        # Queue the task on node 0 ...
+        region = program.allocate(4096)
+        program.memory.touch(region, 0, 4096, toucher_node=0)
+        task2 = program.spawn("u", 1, reads=[(region, 0, 4096)])
+        scheduler.enqueue(task2, 0)
+        # ... a thief on node 1 cannot reach it.
+        assert scheduler.steal(2) is None
+        # A thief on node 0 can.
+        assert scheduler.steal(1) is not None
+
+    def test_remote_steal_opt_in(self, machine):
+        scheduler = NumaAwareScheduler(machine, seed=0, remote_steal=True)
+        program = Program(machine)
+        region = program.allocate(4096)
+        program.memory.touch(region, 0, 4096, toucher_node=0)
+        task = program.spawn("t", 1, reads=[(region, 0, 4096)])
+        scheduler.enqueue(task, 0)
+        stolen, victim = scheduler.steal(2)
+        assert stolen is task
+        assert machine.node_of_core(victim) == 0

@@ -1,0 +1,111 @@
+"""Tests for selection and detail views (Fig. 1, box 4)."""
+
+import pytest
+
+from repro.core import (WorkerState, describe_selection, state_at,
+                        task_at, task_details)
+
+
+class TestHitTesting:
+    def test_task_at_execution_time(self, seidel_trace_small):
+        trace = seidel_trace_small
+        expected = next(trace.task_executions())
+        hit = task_at(trace, expected.core,
+                      (expected.start + expected.end) // 2)
+        assert hit == expected
+
+    def test_task_at_boundary_semantics(self, seidel_trace_small):
+        """Half-open intervals: the start hits, the end does not
+        (unless the next task starts exactly there)."""
+        trace = seidel_trace_small
+        execution = next(trace.task_executions())
+        assert task_at(trace, execution.core, execution.start) \
+            == execution
+        at_end = task_at(trace, execution.core, execution.end)
+        assert at_end is None or at_end.start == execution.end
+
+    def test_task_at_idle_time_is_none(self, seidel_trace_small):
+        trace = seidel_trace_small
+        assert task_at(trace, 0, trace.end + 10**9) is None
+
+    def test_state_at_covers_every_task(self, seidel_trace_small):
+        trace = seidel_trace_small
+        execution = next(trace.task_executions())
+        state = state_at(trace, execution.core, execution.start)
+        assert state is not None
+        assert state["state"] == int(WorkerState.RUNNING)
+
+    def test_state_at_gap_is_none(self, seidel_trace_small):
+        assert state_at(seidel_trace_small, 0, -100) is None
+
+
+class TestTaskDetails:
+    def test_details_fields(self, seidel_trace_small):
+        trace = seidel_trace_small
+        execution = next(trace.task_executions())
+        details = task_details(trace, execution.task_id)
+        assert details.task_id == execution.task_id
+        assert details.core == execution.core
+        assert details.duration == execution.duration
+        assert details.numa_node == trace.topology.node_of_core(
+            execution.core)
+        assert details.type_name in {"seidel_init", "seidel_block"}
+
+    def test_details_resolve_data_endpoints(self, seidel_trace_small):
+        trace = seidel_trace_small
+        # Pick a compute task: it reads and writes.
+        compute_type = next(info.type_id for info in trace.task_types
+                            if info.name == "seidel_block")
+        task_id = next(execution.task_id
+                       for execution in trace.task_executions()
+                       if execution.type_id == compute_type)
+        details = task_details(trace, task_id)
+        assert details.reads
+        assert details.writes
+        for endpoint in details.reads + details.writes:
+            assert endpoint.numa_node is not None
+            assert endpoint.region_name.startswith("block_")
+
+    def test_details_counter_attribution(self, seidel_trace_small):
+        trace = seidel_trace_small
+        execution = next(trace.task_executions())
+        details = task_details(trace, execution.task_id)
+        assert "cache_misses" in details.counter_increases
+        assert details.counter_increases["cache_misses"] >= 0
+
+    def test_describe_text(self, seidel_trace_small):
+        trace = seidel_trace_small
+        execution = next(trace.task_executions())
+        text = task_details(trace, execution.task_id).describe()
+        assert "work function" in text
+        assert "core {}".format(execution.core) in text
+
+    def test_unknown_task_raises(self, seidel_trace_small):
+        with pytest.raises(KeyError):
+            task_details(seidel_trace_small, 10**9)
+
+
+class TestDescribeSelection:
+    def test_click_on_task(self, seidel_trace_small):
+        trace = seidel_trace_small
+        execution = next(trace.task_executions())
+        text = describe_selection(trace, execution.core,
+                                  execution.start)
+        assert "task execution" in text
+        assert "task {}".format(execution.task_id) in text
+
+    def test_click_on_nothing(self, seidel_trace_small):
+        text = describe_selection(seidel_trace_small, 0, -50)
+        assert "no activity" in text
+
+    def test_click_on_idle(self, seidel_trace_small):
+        """Find a moment some core idles and click it."""
+        trace = seidel_trace_small
+        for interval in trace.state_intervals():
+            if interval.state == int(WorkerState.IDLE):
+                text = describe_selection(trace, interval.core,
+                                          interval.start)
+                assert "idle" in text
+                break
+        else:
+            pytest.skip("no idle interval in the small trace")

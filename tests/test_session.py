@@ -1,0 +1,106 @@
+"""Tests for analysis sessions (navigation, persistence)."""
+
+import pytest
+
+from repro.core import Anomaly, WorkersInState, WorkerState
+from repro.session import AnalysisSession
+
+
+@pytest.fixture
+def session(seidel_trace_small):
+    return AnalysisSession(seidel_trace_small, width=400, height=128)
+
+
+class TestNavigation:
+    def test_initial_view_fits_trace(self, session, seidel_trace_small):
+        assert session.view.start == seidel_trace_small.begin
+        assert session.view.end == seidel_trace_small.end
+
+    def test_zoom_and_back(self, session):
+        original = session.view
+        session.zoom(4.0)
+        assert session.view.duration < original.duration
+        restored = session.back()
+        assert restored == original
+
+    def test_back_forward_symmetry(self, session):
+        session.zoom(2.0)
+        zoomed = session.view
+        session.back()
+        assert session.forward() == zoomed
+
+    def test_back_on_empty_history_is_noop(self, session):
+        view = session.view
+        assert session.back() == view
+
+    def test_new_navigation_clears_future(self, session):
+        session.zoom(2.0)
+        session.back()
+        session.scroll(0.5)
+        # The forward stack was invalidated by the scroll.
+        assert session.forward() == session.view
+
+    def test_goto_and_reset(self, session, seidel_trace_small):
+        session.goto(100, 200)
+        assert (session.view.start, session.view.end) == (100, 200)
+        session.reset_view()
+        assert session.view.end == seidel_trace_small.end
+
+    def test_goto_anomaly_frames_interval(self, session):
+        anomaly = Anomaly(kind="idle-phase", severity=1.0, start=1000,
+                          end=2000, description="test")
+        session.goto_anomaly(anomaly, margin=0.5)
+        assert session.view.start == 500
+        assert session.view.end == 2500
+
+
+class TestAnnotations:
+    def test_annotate_at_view_center(self, session):
+        session.goto(1000, 2000)
+        note = session.annotate("interesting")
+        assert note.timestamp == 1500
+        assert session.visible_annotations() == [note]
+
+    def test_annotations_out_of_view_hidden(self, session):
+        session.annotate("early", timestamp=session.trace.begin)
+        session.goto(session.trace.end - 10, session.trace.end)
+        assert session.visible_annotations() == []
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, session, seidel_trace_small,
+                                 tmp_path):
+        session.zoom(4.0)
+        session.scroll(0.25)
+        session.annotate("note one", author="alice")
+        session.metrics.add(WorkersInState(int(WorkerState.IDLE)))
+        path = tmp_path / "session.json"
+        session.save(str(path))
+
+        restored = AnalysisSession.load(str(path), seidel_trace_small)
+        assert restored.view == session.view
+        assert len(restored.annotations) == 1
+        assert list(restored.annotations)[0].author == "alice"
+        assert restored.metrics.names() == session.metrics.names()
+        # History survives: back() restores the pre-scroll view.
+        previous = restored.back()
+        assert previous.duration == session.view.duration
+
+    def test_load_rejects_unknown_version(self, seidel_trace_small,
+                                          tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99}')
+        with pytest.raises(ValueError):
+            AnalysisSession.load(str(path), seidel_trace_small)
+
+    def test_loaded_session_still_navigates(self, session,
+                                            seidel_trace_small,
+                                            tmp_path):
+        path = tmp_path / "s.json"
+        session.save(str(path))
+        restored = AnalysisSession.load(str(path), seidel_trace_small)
+        restored.zoom(8.0)
+        from repro.render import StateMode, render_timeline
+        fb = render_timeline(seidel_trace_small, StateMode(),
+                             restored.view)
+        assert fb.pixels_drawn > 0

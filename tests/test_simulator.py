@@ -1,0 +1,271 @@
+"""Tests for the discrete-event simulator: execution invariants."""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.core import WorkerState, graph_from_program
+from repro.runtime import (Machine, NumaAwareScheduler, Program,
+                           RandomStealScheduler, SimConfig, Simulator,
+                           TraceCollector, run_program)
+from repro.workloads import build_chain, build_fork_join, build_random_dag
+
+
+@pytest.fixture
+def machine():
+    return Machine(2, 4)
+
+
+def simulate(program, machine, seed=0, **kwargs):
+    collector = TraceCollector(machine)
+    return run_program(program, RandomStealScheduler(machine, seed=seed),
+                       collector=collector, **kwargs)
+
+
+class TestBasicExecution:
+    def test_all_tasks_execute_exactly_once(self, machine):
+        program = build_random_dag(machine, num_tasks=80, seed=1)
+        result, trace = simulate(program, machine)
+        executed = list(trace.tasks.columns["task_id"])
+        assert sorted(executed) == [t.task_id for t in program.tasks]
+
+    def test_makespan_positive(self, machine):
+        program = build_chain(machine, length=5)
+        result, __ = simulate(program, machine)
+        assert result.makespan > 0
+
+    def test_empty_program(self, machine):
+        program = Program(machine).finalize()
+        result, trace = simulate(program, machine)
+        assert result.makespan == 0
+        assert len(trace.tasks) == 0
+
+    def test_single_task(self, machine):
+        program = Program(machine)
+        program.spawn("only", 1000)
+        program.finalize()
+        result, trace = simulate(program, machine)
+        assert len(trace.tasks) == 1
+        assert result.tasks_executed == 1
+
+    def test_deterministic_given_seed(self, machine):
+        spans = set()
+        for __ in range(3):
+            program = build_random_dag(machine, num_tasks=60, seed=2)
+            result, __trace = simulate(program, machine, seed=11)
+            spans.add(result.makespan)
+        assert len(spans) == 1
+
+    def test_different_seeds_change_schedule(self, machine):
+        spans = set()
+        for seed in range(4):
+            program = build_random_dag(machine, num_tasks=60, seed=2)
+            result, __trace = simulate(program, machine, seed=seed)
+            spans.add(result.makespan)
+        assert len(spans) > 1
+
+
+class TestDependenceOrdering:
+    def test_dependencies_complete_before_dependents_start(self, machine):
+        program = build_random_dag(machine, num_tasks=100, seed=3)
+        __, trace = simulate(program, machine)
+        executions = {execution.task_id: execution
+                      for execution in trace.task_executions()}
+        for task in program.tasks:
+            for dependency in task.dependencies:
+                assert (executions[dependency.task_id].end
+                        <= executions[task.task_id].start)
+
+    def test_chain_is_fully_serial(self, machine):
+        program = build_chain(machine, length=8)
+        __, trace = simulate(program, machine)
+        executions = sorted(trace.task_executions(),
+                            key=lambda execution: execution.start)
+        for first, second in zip(executions, executions[1:]):
+            assert first.end <= second.start
+
+    def test_creator_runs_before_created(self, machine):
+        program = Program(machine)
+        parent = program.spawn("parent", 1000)
+        child = program.spawn("child", 1000, creator=parent)
+        program.finalize()
+        __, trace = simulate(program, machine)
+        parent_exec = trace.task_by_id(parent.task_id)
+        child_exec = trace.task_by_id(child.task_id)
+        assert parent_exec.end <= child_exec.start
+
+
+class TestStateIntervals:
+    def test_no_overlapping_states_per_core(self, machine):
+        program = build_random_dag(machine, num_tasks=120, seed=4)
+        __, trace = simulate(program, machine)
+        for core in range(trace.num_cores):
+            starts = trace.states.core_column(core, "start")
+            ends = trace.states.core_column(core, "end")
+            for index in range(len(starts) - 1):
+                assert ends[index] <= starts[index + 1]
+
+    def test_states_have_positive_duration(self, machine):
+        program = build_fork_join(machine)
+        __, trace = simulate(program, machine)
+        columns = trace.states.columns
+        assert ((columns["end"] - columns["start"]) > 0).all()
+
+    def test_running_time_matches_task_time(self, machine):
+        program = build_random_dag(machine, num_tasks=50, seed=5)
+        result, trace = simulate(program, machine)
+        columns = trace.tasks.columns
+        task_cycles = int((columns["end"] - columns["start"]).sum())
+        assert result.state_cycles[int(WorkerState.RUNNING)] == task_cycles
+
+    def test_sync_emitted_at_end(self, machine):
+        program = build_fork_join(machine)
+        result, trace = simulate(program, machine)
+        sync = [interval for interval in trace.state_intervals()
+                if interval.state == int(WorkerState.SYNC)]
+        assert len(sync) == trace.num_cores
+        assert all(interval.start == result.makespan for interval in sync)
+
+    def test_workers_idle_while_waiting(self, machine):
+        program = build_chain(machine, length=6)
+        result, __ = simulate(program, machine)
+        assert result.idle_cycles > 0
+
+
+class TestCounters:
+    def test_counter_samples_at_task_boundaries(self, machine):
+        program = build_fork_join(machine, width=6)
+        __, trace = simulate(program, machine)
+        counter_id = trace.counter_id("branch_mispredictions")
+        for execution in trace.task_executions():
+            timestamps, __values = trace.counter_samples(execution.core,
+                                                         counter_id)
+            assert execution.start in timestamps
+            assert execution.end in timestamps
+
+    def test_counters_monotone(self, machine):
+        program = build_random_dag(machine, num_tasks=60, seed=6)
+        __, trace = simulate(program, machine)
+        for description in trace.counter_descriptions:
+            for core in range(trace.num_cores):
+                __, values = trace.counter_samples(core,
+                                                   description.counter_id)
+                if len(values) > 1:
+                    assert (values[1:] >= values[:-1]).all()
+
+    def test_pinned_counter_increment_respected(self, machine):
+        program = Program(machine)
+        program.spawn("t", 10_000,
+                      counters={"branch_mispredictions": 1234})
+        program.finalize()
+        __, trace = simulate(program, machine)
+        execution = next(trace.task_executions())
+        counter_id = trace.counter_id("branch_mispredictions")
+        timestamps, values = trace.counter_samples(execution.core,
+                                                   counter_id)
+        assert values[-1] - values[0] == pytest.approx(1234)
+
+
+class TestCostModel:
+    def test_remote_execution_slower(self):
+        """The same single task is slower when its data is remote."""
+        durations = {}
+        for node_of_data in (0, 1):
+            machine = Machine(2, 1)
+            program = Program(machine)
+            region = program.allocate(64 * 4096)
+            setup = program.spawn("touch", 1,
+                                  writes=[(region, 0, region.size)])
+            consumer = program.spawn("consume", 1,
+                                     reads=[(region, 0, region.size)])
+            program.finalize()
+            # Pre-place the data on the requested node.
+            program.memory.touch(region, 0, region.size, node_of_data)
+            collector = TraceCollector(machine)
+            __, trace = run_program(
+                program, RandomStealScheduler(machine, seed=0),
+                collector=collector)
+            execution = trace.task_by_id(consumer.task_id)
+            # Consumer runs on the core that resolved the dependence;
+            # record duration keyed by data placement.
+            durations[node_of_data] = (execution.duration, execution.core)
+        # One placement was local to the executing core, the other
+        # remote; remote must be slower.
+        local = min(durations.values())[0]
+        remote = max(durations.values())[0]
+        assert remote > local
+
+    def test_page_faults_counted(self, machine):
+        program = Program(machine)
+        region = program.allocate(16 * 4096)
+        program.spawn("init", 1, writes=[(region, 0, region.size)])
+        program.finalize()
+        result, __ = simulate(program, machine)
+        assert result.page_faults == 16
+
+    def test_task_overhead_floor(self, machine):
+        config = SimConfig(task_overhead=5000)
+        program = Program(machine)
+        program.spawn("tiny", 0)
+        program.finalize()
+        __, trace = simulate(program, machine, config=config)
+        execution = next(trace.task_executions())
+        assert execution.duration >= 5000
+
+
+class TestStealing:
+    def test_steals_occur_with_parallel_work(self, machine):
+        program = build_fork_join(machine, width=16)
+        result, __ = simulate(program, machine)
+        assert result.steals > 0
+
+    def test_steal_events_recorded(self, machine):
+        program = build_fork_join(machine, width=16)
+        __, trace = simulate(program, machine)
+        assert len(trace.comm["timestamp"]) > 0
+
+    def test_numa_scheduler_local_steals_only(self):
+        machine = Machine(2, 4)
+        program = build_fork_join(machine, width=24)
+        collector = TraceCollector(machine)
+        __, trace = run_program(
+            program, NumaAwareScheduler(machine, seed=0),
+            collector=collector)
+        comm = trace.comm
+        for index in range(len(comm["timestamp"])):
+            src_node = comm["src_core"][index] // 4
+            dst_node = comm["dst_core"][index] // 4
+            assert src_node == dst_node
+
+
+class TestBroadcast:
+    def test_wide_fanout_triggers_broadcast_state(self, machine):
+        program = build_fork_join(machine, width=12)
+        result, __ = simulate(program, machine)
+        assert result.state_cycles[int(WorkerState.BROADCAST)] > 0
+
+    def test_narrow_fanout_no_broadcast(self, machine):
+        program = build_chain(machine, length=4)
+        result, __ = simulate(program, machine)
+        assert result.state_cycles[int(WorkerState.BROADCAST)] == 0
+
+
+class TestCreationPhase:
+    def test_create_state_covers_root_creation(self, machine):
+        config = SimConfig(create_cost=500)
+        program = build_fork_join(machine, width=4)
+        result, trace = simulate(program, machine, config=config)
+        creates = [interval for interval in trace.state_intervals()
+                   if interval.state == int(WorkerState.CREATE)]
+        # Main creates all six root-declared tasks on core 0.
+        main_create = [c for c in creates if c.core == 0 and c.start == 0]
+        assert main_create
+        assert main_create[0].duration == 500 * len(program.tasks)
+
+    def test_created_events_match_task_count(self, machine):
+        from repro.core import DiscreteEventKind
+        program = build_fork_join(machine, width=5)
+        __, trace = simulate(program, machine)
+        created = [event for event in trace.discrete_events()
+                   if event.kind == int(DiscreteEventKind.TASK_CREATED)]
+        assert len(created) == len(program.tasks)

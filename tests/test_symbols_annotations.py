@@ -1,0 +1,109 @@
+"""Tests for symbol tables and annotations (Section VI-C)."""
+
+import pytest
+
+from repro.core import (Annotation, AnnotationStore, Symbol, SymbolTable,
+                        resolve_task, symbols_from_trace)
+
+
+class TestSymbolTable:
+    def make_table(self):
+        return SymbolTable([
+            Symbol(0x1000, "main", "main.c", 10),
+            Symbol(0x2000, "worker", "worker.c", 42),
+            Symbol(0x3000, "helper", "worker.c", 99),
+        ])
+
+    def test_exact_address(self):
+        table = self.make_table()
+        assert table.resolve(0x2000).name == "worker"
+
+    def test_nearest_below(self):
+        table = self.make_table()
+        assert table.resolve(0x2ABC).name == "worker"
+
+    def test_before_first_symbol(self):
+        table = self.make_table()
+        assert table.resolve(0xFFF) is None
+
+    def test_past_last_symbol(self):
+        table = self.make_table()
+        assert table.resolve(0x99999).name == "helper"
+
+    def test_add_keeps_sorted(self):
+        table = self.make_table()
+        table.add(Symbol(0x2800, "late", "late.c", 1))
+        assert table.resolve(0x2900).name == "late"
+        assert table.resolve(0x27FF).name == "worker"
+
+    def test_by_name(self):
+        table = self.make_table()
+        assert table.by_name("helper").address == 0x3000
+        assert table.by_name("missing") is None
+
+    def test_editor_command(self):
+        table = self.make_table()
+        command = table.editor_command(0x2000, editor="vim")
+        assert command == "vim +42 worker.c"
+
+    def test_editor_command_unknown_address(self):
+        table = self.make_table()
+        assert table.editor_command(0x1) is None
+
+
+class TestTraceSymbols:
+    def test_table_from_trace(self, seidel_trace_small):
+        table = symbols_from_trace(seidel_trace_small)
+        assert len(table) == len(seidel_trace_small.task_types)
+
+    def test_resolve_task(self, seidel_trace_small):
+        trace = seidel_trace_small
+        table = symbols_from_trace(trace)
+        execution = next(trace.task_executions())
+        name = resolve_task(trace, table, execution.task_id)
+        assert name in {"seidel_init", "seidel_block"}
+
+
+class TestAnnotations:
+    def test_sorted_by_time(self):
+        store = AnnotationStore()
+        store.add(Annotation(500, "late"))
+        store.add(Annotation(100, "early"))
+        assert [note.text for note in store] == ["early", "late"]
+
+    def test_in_interval(self):
+        store = AnnotationStore([
+            Annotation(100, "a", core=0),
+            Annotation(200, "b", core=1),
+            Annotation(300, "c", core=0),
+        ])
+        assert [n.text for n in store.in_interval(100, 300)] == ["a", "b"]
+        assert [n.text for n in store.in_interval(0, 1000, core=0)] \
+            == ["a", "c"]
+
+    def test_remove(self):
+        note = Annotation(1, "x")
+        store = AnnotationStore([note])
+        store.remove(note)
+        assert len(store) == 0
+
+    def test_save_load_roundtrip(self, tmp_path):
+        """Annotations persist independently of the trace file."""
+        path = tmp_path / "notes.json"
+        store = AnnotationStore([
+            Annotation(123, "look here", core=4, author="andi"),
+            Annotation(456, "slow phase"),
+        ])
+        store.save(str(path))
+        loaded = AnnotationStore.load(str(path))
+        assert len(loaded) == 2
+        first = list(loaded)[0]
+        assert first.text == "look here"
+        assert first.core == 4
+        assert first.author == "andi"
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "annotations": []}')
+        with pytest.raises(ValueError):
+            AnnotationStore.load(str(path))

@@ -1,0 +1,162 @@
+"""Tests for task-graph reconstruction and analysis (Section III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (TaskGraph, export_dot, graph_from_program,
+                        reconstruct_task_graph, to_networkx)
+
+
+def edge_set(graph):
+    return {(src, dst) for src in graph.successors
+            for dst in graph.successors[src]}
+
+
+class TestTaskGraphBasics:
+    def test_depths_of_diamond(self):
+        graph = TaskGraph()
+        graph.add_edge(0, 1)
+        graph.add_edge(0, 2)
+        graph.add_edge(1, 3)
+        graph.add_edge(2, 3)
+        assert graph.depths() == {0: 0, 1: 1, 2: 1, 3: 2}
+
+    def test_longest_path_wins(self):
+        graph = TaskGraph()
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(0, 2)
+        assert graph.depth_of(2) == 2
+
+    def test_roots(self):
+        graph = TaskGraph()
+        graph.add_edge(0, 2)
+        graph.add_edge(1, 2)
+        graph.add_node(5)
+        assert graph.roots() == [0, 1, 5]
+
+    def test_cycle_detection(self):
+        graph = TaskGraph()
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 0)
+        with pytest.raises(ValueError):
+            graph.depths()
+
+    def test_parallelism_profile(self):
+        graph = TaskGraph()
+        for leaf in (1, 2, 3):
+            graph.add_edge(0, leaf)
+            graph.add_edge(leaf, 4)
+        depths, counts = graph.parallelism_profile()
+        assert list(depths) == [0, 1, 2]
+        assert list(counts) == [1, 3, 1]
+
+    def test_empty_graph(self):
+        graph = TaskGraph()
+        depths, counts = graph.parallelism_profile()
+        assert len(depths) == 0 and len(counts) == 0
+        assert graph.max_depth() == 0
+
+    def test_ancestors(self):
+        graph = TaskGraph()
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(3, 2)
+        assert graph.ancestors(2) == {0, 1, 3}
+
+    def test_neighborhood(self):
+        graph = TaskGraph()
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        assert graph.neighborhood(1, hops=1) == {0, 1, 2}
+        assert graph.neighborhood(1, hops=2) == {0, 1, 2, 3}
+
+
+class TestReconstruction:
+    def test_matches_ground_truth_seidel(self, seidel_program,
+                                         seidel_trace_small):
+        truth = graph_from_program(seidel_program)
+        rebuilt = reconstruct_task_graph(seidel_trace_small)
+        assert edge_set(rebuilt) == edge_set(truth)
+        assert rebuilt.nodes == truth.nodes
+
+    def test_matches_ground_truth_random_dag(self, machine,
+                                             random_dag_trace):
+        from repro.workloads import build_random_dag
+        program = build_random_dag(machine, num_tasks=120, seed=5)
+        truth = graph_from_program(program)
+        rebuilt = reconstruct_task_graph(random_dag_trace)
+        assert edge_set(rebuilt) == edge_set(truth)
+
+    def test_kmeans_reconstruction(self, kmeans_run, machine):
+        from repro.workloads import build_kmeans
+        from tests.conftest import TINY_KMEANS
+        program = build_kmeans(machine, TINY_KMEANS)
+        truth = graph_from_program(program)
+        rebuilt = reconstruct_task_graph(kmeans_run[1])
+        assert edge_set(rebuilt) == edge_set(truth)
+
+    def test_empty_trace(self):
+        from repro.core import TopologyInfo, TraceBuilder
+        trace = TraceBuilder(TopologyInfo(1, 1)).build()
+        graph = reconstruct_task_graph(trace)
+        assert len(graph.nodes) == 0
+
+    def test_trace_without_accesses_gives_no_edges(self):
+        from repro.core import TopologyInfo, TraceBuilder
+        builder = TraceBuilder(TopologyInfo(1, 2))
+        builder.task_execution(0, 0, 0, 0, 10)
+        builder.task_execution(1, 0, 1, 5, 15)
+        graph = reconstruct_task_graph(builder.build())
+        assert graph.nodes == {0, 1}
+        assert graph.num_edges == 0
+
+
+class TestSeidelProfile:
+    def test_four_phases(self, seidel_program):
+        """Fig. 5's shape: init spike, drop to one task, rise to a
+        plateau, decline."""
+        graph = graph_from_program(seidel_program)
+        depths, counts = graph.parallelism_profile()
+        assert counts[0] == 36               # phase 1: init spike
+        assert counts[1] == 1                # phase 2: sudden drop
+        peak = counts[2:].max()
+        peak_at = depths[2:][counts[2:].argmax()]
+        assert peak > 1                      # phase 3: rise
+        assert counts[-1] < peak             # phase 4: decline
+        assert depths[-1] > peak_at
+
+
+class TestExport:
+    def test_dot_contains_nodes_and_edges(self, seidel_trace_small):
+        graph = reconstruct_task_graph(seidel_trace_small)
+        text = export_dot(graph, trace=seidel_trace_small,
+                          task_ids=list(graph.nodes)[:10])
+        assert text.startswith("digraph taskgraph {")
+        assert text.rstrip().endswith("}")
+
+    def test_dot_subset_excludes_foreign_edges(self):
+        graph = TaskGraph()
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        text = export_dot(graph, task_ids=[0, 1])
+        assert '"0" -> "1"' in text
+        assert '"1" -> "2"' not in text
+
+    def test_dot_file_output(self, tmp_path):
+        graph = TaskGraph()
+        graph.add_edge(0, 1)
+        path = tmp_path / "graph.dot"
+        export_dot(graph, path=str(path))
+        assert path.read_text().startswith("digraph")
+
+    def test_networkx_conversion(self, seidel_trace_small):
+        nx_graph = to_networkx(
+            reconstruct_task_graph(seidel_trace_small))
+        import networkx as nx
+        assert nx.is_directed_acyclic_graph(nx_graph)
+        # Longest path agrees with our depth computation.
+        graph = reconstruct_task_graph(seidel_trace_small)
+        assert (nx.dag_longest_path_length(nx_graph)
+                == graph.max_depth())

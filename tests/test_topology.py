@@ -1,0 +1,88 @@
+"""Tests for the machine topology model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime import Machine, opteron_6282, uv2000
+
+
+class TestMachineConstruction:
+    def test_core_count(self):
+        machine = Machine(3, 5)
+        assert machine.num_cores == 15
+        assert machine.num_nodes == 3
+
+    def test_core_node_assignment_is_contiguous(self):
+        machine = Machine(4, 4)
+        for node in machine.nodes:
+            assert [machine.node_of_core(core) for core in node.core_ids] \
+                == [node.node_id] * 4
+
+    def test_core_ids_are_dense(self):
+        machine = Machine(2, 3)
+        assert [core.core_id for core in machine.cores] == list(range(6))
+
+    def test_rejects_empty_machine(self):
+        with pytest.raises(ValueError):
+            Machine(0, 4)
+        with pytest.raises(ValueError):
+            Machine(2, 0)
+
+    def test_single_node_machine(self):
+        machine = Machine(1, 8)
+        assert machine.num_cores == 8
+        assert machine.distance(0, 0) == 10
+
+
+class TestDistances:
+    def test_local_distance_is_ten(self):
+        machine = Machine(6, 2)
+        for node in range(6):
+            assert machine.distance(node, node) == 10
+
+    def test_remote_distances_symmetric(self):
+        machine = Machine(8, 1)
+        for a in range(8):
+            for b in range(8):
+                assert machine.distance(a, b) == machine.distance(b, a)
+
+    def test_distance_grows_with_hops(self):
+        machine = Machine(8, 1)
+        assert machine.distance(0, 1) < machine.distance(0, 2)
+        assert machine.distance(0, 2) < machine.distance(0, 4)
+
+    def test_access_factor_local_is_one(self):
+        machine = Machine(4, 2)
+        assert machine.access_factor(2, 2) == 1.0
+
+    def test_access_factor_remote_above_two(self):
+        machine = Machine(4, 2)
+        assert machine.access_factor(0, 1) >= 2.0
+
+    @given(nodes=st.integers(min_value=2, max_value=16))
+    def test_remote_always_costlier_than_local(self, nodes):
+        machine = Machine(nodes, 1)
+        for a in range(nodes):
+            for b in range(nodes):
+                if a != b:
+                    assert machine.distance(a, b) > machine.distance(a, a)
+
+
+class TestPresets:
+    def test_uv2000_shape(self):
+        machine = uv2000()
+        assert machine.num_nodes == 24
+        assert machine.num_cores == 192
+
+    def test_opteron_shape(self):
+        machine = opteron_6282()
+        assert machine.num_nodes == 8
+        assert machine.num_cores == 64
+
+    def test_scaling_preserves_cores_per_node(self):
+        machine = uv2000(scale=0.25)
+        assert machine.num_nodes == 6
+        assert machine.cores_per_node == 8
+
+    def test_scale_floor_is_two_nodes(self):
+        assert uv2000(scale=0.01).num_nodes == 2

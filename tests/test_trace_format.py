@@ -1,0 +1,161 @@
+"""Tests for the binary trace format (Section VI-A)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import (CounterDescription, RegionInfo, TaskTypeInfo,
+                        TopologyInfo, TraceBuilder)
+from repro.trace_format import (FormatError, codec_for_path,
+                                open_trace_file, read_trace,
+                                read_trace_stream, write_trace)
+from repro.trace_format.writer import TraceWriter
+
+
+def traces_equal(first, second):
+    assert first.topology == second.topology
+    assert first.counter_descriptions == second.counter_descriptions
+    assert first.task_types == second.task_types
+    assert first.regions == second.regions
+    for table in ("states", "tasks", "discrete"):
+        a = getattr(first, table).columns
+        b = getattr(second, table).columns
+        for name in a:
+            assert (a[name] == b[name]).all(), (table, name)
+    for name in first.comm:
+        assert (first.comm[name] == second.comm[name]).all()
+    for name in first.accesses:
+        assert (first.accesses[name] == second.accesses[name]).all()
+    assert set(first.counter_series) == set(second.counter_series)
+    for key in first.counter_series:
+        t1, v1 = first.counter_series[key]
+        t2, v2 = second.counter_series[key]
+        assert (t1 == t2).all()
+        assert v1 == pytest.approx(v2)
+    return True
+
+
+class TestRoundtrip:
+    def test_full_trace_roundtrip(self, seidel_trace_small, tmp_path):
+        path = tmp_path / "seidel.ost"
+        records = write_trace(seidel_trace_small, str(path))
+        assert records > 0
+        loaded = read_trace(str(path))
+        assert traces_equal(seidel_trace_small, loaded)
+
+    @pytest.mark.parametrize("suffix", [".gz", ".bz2", ".xz"])
+    def test_compressed_roundtrip(self, seidel_trace_small, tmp_path,
+                                  suffix):
+        """Aftermath directly opens gzip/bzip2/xz compressed traces."""
+        path = tmp_path / ("seidel.ost" + suffix)
+        write_trace(seidel_trace_small, str(path))
+        loaded = read_trace(str(path))
+        assert traces_equal(seidel_trace_small, loaded)
+
+    def test_compression_shrinks_file(self, seidel_trace_small,
+                                      tmp_path):
+        raw = tmp_path / "t.ost"
+        packed = tmp_path / "t.ost.xz"
+        write_trace(seidel_trace_small, str(raw))
+        write_trace(seidel_trace_small, str(packed))
+        assert packed.stat().st_size < raw.stat().st_size
+
+    def test_kmeans_roundtrip(self, kmeans_trace_small, tmp_path):
+        path = tmp_path / "kmeans.ost.gz"
+        write_trace(kmeans_trace_small, str(path))
+        assert traces_equal(kmeans_trace_small, read_trace(str(path)))
+
+
+class TestCodecSelection:
+    def test_suffix_detection(self):
+        assert codec_for_path("a.ost.gz") == ".gz"
+        assert codec_for_path("A.OST.XZ") == ".xz"
+        assert codec_for_path("a.ost") is None
+
+    def test_text_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            open_trace_file(str(tmp_path / "x.ost"), "w")
+
+
+class TestIncrementalFormat:
+    """Any record type may be missing (Section VI-A): analyses degrade
+    gracefully rather than failing to load."""
+
+    def minimal_trace(self):
+        builder = TraceBuilder(TopologyInfo(2, 2))
+        builder.task_execution(0, 0, 0, 0, 100)
+        builder.task_execution(1, 0, 1, 50, 180)
+        return builder.build()
+
+    def test_trace_without_accesses_loads(self, tmp_path):
+        path = tmp_path / "durations_only.ost"
+        write_trace(self.minimal_trace(), str(path))
+        loaded = read_trace(str(path))
+        assert len(loaded.tasks) == 2
+        assert len(loaded.accesses["task_id"]) == 0
+        # Duration-based analyses still work...
+        from repro.core import task_duration_histogram
+        __, fractions = task_duration_histogram(loaded, bins=2)
+        assert fractions.sum() == pytest.approx(1.0)
+        # ...and locality analyses degrade to "nothing known".
+        from repro.core import communication_matrix
+        assert communication_matrix(loaded).sum() == 0
+
+    def test_free_record_interleaving(self):
+        """Records of different cores and kinds may interleave freely;
+        only per-core timestamp order matters."""
+        stream = io.BytesIO()
+        writer = TraceWriter(stream)
+        writer.topology(TopologyInfo(1, 2))
+        writer.state_interval(1, 0, 0, 10)
+        writer.task_execution(5, 0, 0, 0, 10)
+        writer.state_interval(0, 0, 0, 10)
+        writer.counter_description(CounterDescription(0, "c"))
+        writer.counter_sample(0, 0, 5, 1.0)
+        writer.state_interval(1, 1, 10, 30)
+        stream.seek(0)
+        trace = read_trace_stream(stream)
+        assert len(trace.states) == 3
+        assert trace.task_by_id(5).end == 10
+
+
+class TestErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.ost"
+        path.write_bytes(b"NOPE" + b"\x00" * 16)
+        with pytest.raises(FormatError):
+            read_trace(str(path))
+
+    def test_truncated_file(self, seidel_trace_small, tmp_path):
+        path = tmp_path / "trunc.ost"
+        write_trace(seidel_trace_small, str(path))
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])
+        with pytest.raises(FormatError):
+            read_trace(str(path))
+
+    def test_unknown_tag(self, tmp_path):
+        from repro.trace_format import MAGIC, VERSION
+        import struct
+        path = tmp_path / "unknown.ost"
+        payload = struct.pack("<4sI", MAGIC, VERSION) + bytes([200])
+        path.write_bytes(payload)
+        with pytest.raises(FormatError):
+            read_trace(str(path))
+
+    def test_missing_topology(self, tmp_path):
+        from repro.trace_format import MAGIC, VERSION
+        import struct
+        path = tmp_path / "empty.ost"
+        path.write_bytes(struct.pack("<4sI", MAGIC, VERSION))
+        with pytest.raises(FormatError):
+            read_trace(str(path))
+
+    def test_wrong_version(self, tmp_path):
+        from repro.trace_format import MAGIC
+        import struct
+        path = tmp_path / "v99.ost"
+        path.write_bytes(struct.pack("<4sI", MAGIC, 99))
+        with pytest.raises(FormatError):
+            read_trace(str(path))

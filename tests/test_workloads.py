@@ -1,0 +1,189 @@
+"""Tests for the seidel and k-means task-graph builders."""
+
+import pytest
+
+from repro.core import graph_from_program
+from repro.runtime import Machine
+from repro.workloads import (KmeansConfig, SeidelConfig, build_chain,
+                             build_fork_join, build_kmeans,
+                             build_random_dag, build_seidel)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return Machine(2, 4)
+
+
+class TestSeidelStructure:
+    @pytest.fixture(scope="class")
+    def program(self):
+        machine = Machine(2, 4)
+        return build_seidel(machine, SeidelConfig(blocks=5, block_dim=8,
+                                                  steps=3))
+
+    def test_task_count(self, program):
+        # blocks^2 init tasks + blocks^2 * steps compute tasks.
+        assert len(program.tasks) == 25 + 25 * 3
+
+    def test_two_task_types(self, program):
+        names = {task_type.name for task_type in program.task_types}
+        assert names == {"seidel_init", "seidel_block"}
+
+    def test_init_tasks_are_dependence_free(self, program):
+        inits = [task for task in program.tasks
+                 if task.task_type.name == "seidel_init"]
+        assert all(not task.dependencies for task in inits)
+
+    def test_wavefront_depths(self, program):
+        """Depth of compute task (t, i, j) is 1 + i + j + 2t: the
+        diagonal wave front of Fig. 6."""
+        graph = graph_from_program(program)
+        depths = graph.depths()
+        for task in program.tasks:
+            if task.task_type.name != "seidel_block":
+                continue
+            t = task.metadata["t"]
+            i = task.metadata["i"]
+            j = task.metadata["j"]
+            assert depths[task.task_id] == 1 + i + j + 2 * t
+
+    def test_parallelism_drops_to_one_at_depth_one(self, program):
+        graph = graph_from_program(program)
+        __, counts = graph.parallelism_profile()
+        assert counts[0] == 25       # all init tasks
+        assert counts[1] == 1        # only b(0,0) — the paper's drop
+
+    def test_compute_task_dependence_pattern(self, program):
+        """An interior task depends on its own previous version and the
+        four neighbor versions on the wave front."""
+        graph = graph_from_program(program)
+        interior = [task for task in program.tasks
+                    if task.task_type.name == "seidel_block"
+                    and task.metadata["t"] == 1
+                    and task.metadata["i"] == 2
+                    and task.metadata["j"] == 2]
+        assert len(interior) == 1
+        deps = interior[0].dependencies
+        coordinates = {(d.metadata["t"], d.metadata["i"], d.metadata["j"])
+                       for d in deps
+                       if d.task_type.name == "seidel_block"}
+        assert coordinates == {(0, 2, 2), (1, 1, 2), (1, 2, 1),
+                               (0, 3, 2), (0, 2, 3)}
+
+    def test_acyclic(self, program):
+        assert program.validate_acyclic()
+
+
+class TestKmeansStructure:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return KmeansConfig(num_points=32_000, block_size=4_000,
+                            iterations=3)
+
+    @pytest.fixture(scope="class")
+    def program(self, config):
+        machine = Machine(2, 4)
+        return build_kmeans(machine, config)
+
+    def test_distance_task_count(self, program, config):
+        distance = [task for task in program.tasks
+                    if task.task_type.name == "kmeans_distance"]
+        assert len(distance) == config.num_blocks * config.iterations
+
+    def test_one_reduction_root_per_iteration(self, program, config):
+        from collections import Counter
+        reduce_tasks = [task for task in program.tasks
+                        if task.task_type.name == "kmeans_reduce"]
+        roots = Counter()
+        for task in reduce_tasks:
+            # Roots are reduce tasks no other reduce task depends on
+            # within the same iteration.
+            if not any(dependent.task_type.name == "kmeans_reduce"
+                       for dependent in task.dependents):
+                roots[task.metadata["iteration"]] += 1
+        assert roots == Counter({0: 1, 1: 1, 2: 1})
+
+    def test_later_iterations_created_dynamically(self, program):
+        for task in program.tasks:
+            if task.task_type.name != "kmeans_distance":
+                continue
+            if task.metadata["iteration"] == 0:
+                assert task.creator is None
+            else:
+                assert task.creator is not None
+                assert task.creator.task_type.name == "kmeans_reduce"
+
+    def test_distance_tasks_read_points_and_centers(self, program):
+        distance = next(task for task in program.tasks
+                        if task.task_type.name == "kmeans_distance")
+        read_regions = {access.region.name.split("_")[0]
+                        for access in distance.reads}
+        assert "points" in read_regions
+
+    def test_iterations_are_serialized(self, program):
+        """Every distance task of iteration i+1 transitively depends on
+        the reduction root of iteration i (through the propagation
+        tree), so iterations cannot overlap."""
+        graph = graph_from_program(program)
+        depths = graph.depths()
+        max_depth_per_iteration = {}
+        min_depth_per_iteration = {}
+        for task in program.tasks:
+            if task.task_type.name != "kmeans_distance":
+                continue
+            iteration = task.metadata["iteration"]
+            depth = depths[task.task_id]
+            max_depth_per_iteration[iteration] = max(
+                max_depth_per_iteration.get(iteration, 0), depth)
+            min_depth_per_iteration[iteration] = min(
+                min_depth_per_iteration.get(iteration, 10**9), depth)
+        assert (min_depth_per_iteration[1]
+                > max_depth_per_iteration[0])
+        assert (min_depth_per_iteration[2]
+                > max_depth_per_iteration[1])
+
+    def test_misprediction_counters_attached(self, program):
+        distance = [task for task in program.tasks
+                    if task.task_type.name == "kmeans_distance"]
+        assert all("branch_mispredictions" in task.counters
+                   for task in distance)
+
+    def test_optimized_branches_lower_mispredictions(self, machine,
+                                                     config):
+        from dataclasses import replace
+        optimized = build_kmeans(machine,
+                                 replace(config, optimize_branches=True))
+        baseline = build_kmeans(machine, config)
+        count = lambda program: sum(
+            task.counters["branch_mispredictions"]
+            for task in program.tasks
+            if task.task_type.name == "kmeans_distance")
+        assert count(optimized) < count(baseline) / 4
+
+    def test_acyclic(self, program):
+        assert program.validate_acyclic()
+
+
+class TestSyntheticWorkloads:
+    def test_chain_is_serial(self, machine):
+        program = build_chain(machine, length=6)
+        graph = graph_from_program(program)
+        assert graph.max_depth() == 5
+
+    def test_fork_join_depths(self, machine):
+        program = build_fork_join(machine, width=7)
+        graph = graph_from_program(program)
+        __, counts = graph.parallelism_profile()
+        assert list(counts) == [1, 7, 1]
+
+    def test_random_dag_deterministic(self, machine):
+        first = build_random_dag(machine, num_tasks=40, seed=3)
+        second = build_random_dag(machine, num_tasks=40, seed=3)
+        edges = lambda program: [(d.task_id, t.task_id)
+                                 for t in program.tasks
+                                 for d in t.dependencies]
+        assert edges(first) == edges(second)
+
+    def test_random_dag_acyclic(self, machine):
+        program = build_random_dag(machine, num_tasks=60, seed=4)
+        assert program.validate_acyclic()
