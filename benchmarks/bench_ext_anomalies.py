@@ -4,6 +4,8 @@ The paper's conclusion announces "semi-automatic statistical methods to
 quickly focus the search for interesting anomalies"; this bench runs
 the implemented detectors over the seidel traces and validates that
 they find exactly the anomalies the paper's manual analyses found.
+
+Mapping: docs/paper-mapping.md.
 """
 
 import numpy as np

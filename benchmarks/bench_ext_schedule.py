@@ -5,6 +5,8 @@ structure bounds achievable parallelism.  The duration-weighted
 critical path of seidel's wave front gives the minimum possible
 makespan; the bench reports how close the simulated work-stealing
 schedule came, plus the per-type time profile behind Fig. 9.
+
+Mapping: docs/paper-mapping.md.
 """
 
 import numpy as np

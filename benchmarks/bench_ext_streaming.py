@@ -3,6 +3,8 @@
 The paper's conclusion announces work on "the out-of-core processing of
 large traces".  This bench compares the streaming statistics pass with
 a full in-memory load and validates the time-window extraction path.
+
+Mapping: docs/paper-mapping.md.
 """
 
 import pytest

@@ -3,6 +3,8 @@
 Paper: task execution (dark blue) dominates, with two distinct light
 blue vertical bands of idling workers: one in the first quarter of the
 execution and one at the end.
+
+Mapping: docs/paper-mapping.md.
 """
 
 import numpy as np

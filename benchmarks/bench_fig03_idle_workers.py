@@ -3,6 +3,8 @@
 Paper: the derived counter (per-interval time in the idle state, summed
 over workers) peaks above half the number of cores, confirming the two
 idle phases seen on the timeline.
+
+Mapping: docs/paper-mapping.md.
 """
 
 import numpy as np

@@ -5,6 +5,8 @@ ready tasks at startup (the initialization tasks at depth 0), (2) a
 sudden drop to a single task (everything depends on b00), (3) rising
 parallelism as the diagonal wave front grows (peak ~2400 near depth
 120), (4) decline toward the end of the computation.
+
+Mapping: docs/paper-mapping.md.
 """
 
 import numpy as np

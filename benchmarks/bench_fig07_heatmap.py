@@ -4,6 +4,8 @@ Paper: four phases — dark red long-running tasks at the beginning
 (initialization), a gap where the background shows through (the
 low-parallelism phase), a long majority-white phase of short tasks, and
 background again at the end.
+
+Mapping: docs/paper-mapping.md.
 """
 
 import numpy as np

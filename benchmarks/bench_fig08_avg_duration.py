@@ -3,6 +3,8 @@
 Paper: a pronounced peak coinciding with the initialization phase,
 followed by a long plateau; the value never drops to zero while tasks
 execute.
+
+Mapping: docs/paper-mapping.md.
 """
 
 import numpy as np

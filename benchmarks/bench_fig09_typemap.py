@@ -3,6 +3,8 @@
 Paper: the first phase is dominated by initialization tasks (pink in
 the paper's rendering) while the plateau consists of main computation
 tasks (ocher) — proving the long-running tasks are the initialization.
+
+Mapping: docs/paper-mapping.md.
 """
 
 import numpy as np

@@ -4,6 +4,8 @@ size (getrusage statistics).
 Paper: both the memory footprint and the time spent in the operating
 system increase almost exclusively during initialization, confirming
 that first-touch physical page allocation makes the init tasks slow.
+
+Mapping: docs/paper-mapping.md.
 """
 
 import numpy as np

@@ -8,6 +8,8 @@ at 2.5K), with a minimum of 6.22s at 10K points per block.
 The sweep keeps the paper's block *counts* (m = points/block_size from
 32 to 16384) on a scaled-down point set, and reports execution-time
 ratios relative to the sweep minimum next to the paper's ratios.
+
+Mapping: docs/paper-mapping.md.
 """
 
 import os

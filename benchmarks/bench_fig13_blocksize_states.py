@@ -6,6 +6,8 @@ execution and idle phases appears as unequal task durations leave some
 workers waiting at each iteration's reduction; small blocks make the
 pattern imperceptible until, below 5K points, task-management overhead
 causes idle phases at termination.
+
+Mapping: docs/paper-mapping.md.
 """
 
 import numpy as np

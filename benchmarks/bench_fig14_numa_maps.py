@@ -6,6 +6,8 @@ from all remote nodes); the optimized one shows per-node color bands
 (adjacent cores read from a single node).  The NUMA heatmap shades the
 same traces blue (local) vs pink (remote).  Execution times: 7.91
 Gcycles non-optimized vs 2.59 Gcycles optimized (3x speedup).
+
+Mapping: docs/paper-mapping.md.
 """
 
 import numpy as np

@@ -4,6 +4,8 @@ Paper: the non-optimized execution produces deep red across the whole
 matrix (every node exchanges data with every node in similar
 proportions); the optimized execution shows a very sharp diagonal with
 no discernible red outside it — near-optimal locality.
+
+Mapping: docs/paper-mapping.md.
 """
 
 import numpy as np

@@ -4,6 +4,8 @@ k-means.
 Paper: although the computation tasks have similar workloads, the
 duration histogram shows several distinct peaks (between 6.5 and 12.5
 Mcycles), and long/short tasks are not tied to particular cores.
+
+Mapping: docs/paper-mapping.md.
 """
 
 import numpy as np

@@ -6,6 +6,8 @@ iterations; Fig. 18 zooms into a few CPUs and overlays the discrete
 derivative of the misprediction counter (constant per task, as counters
 are sampled immediately before and after each execution), instantly
 revealing that darker (longer) tasks have higher misprediction rates.
+
+Mapping: docs/paper-mapping.md.
 """
 
 import numpy as np

@@ -7,6 +7,8 @@ determination of 0.83 — statistical evidence that conditional updates
 drive the duration spread.  Making the update unconditional reduces the
 mean duration of the main computation tasks from 9.76 to 7.73 Mcycles
 and the standard deviation from 1.18 Mcycles to 335 Kcycles.
+
+Mapping: docs/paper-mapping.md.
 """
 
 import numpy as np

@@ -4,6 +4,8 @@ Paper: per-core per-type arrays sorted by timestamp let any interval's
 events be found with a fast binary search; an n-ary min/max search tree
 per (counter, core) — default arity 100, <= 5 % memory overhead —
 avoids scanning every sample when rendering counters.
+
+Mapping: docs/paper-mapping.md.
 """
 
 import numpy as np

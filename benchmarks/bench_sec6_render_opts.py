@@ -5,6 +5,8 @@ its interval; (b) adjacent same-color pixels are aggregated into a
 single rectangle call; for counters, one vertical [pmin, pmax] line per
 pixel replaces per-sample lines, dramatically reducing drawing
 operations at coarse zoom.
+
+Mapping: docs/paper-mapping.md.
 """
 
 import numpy as np

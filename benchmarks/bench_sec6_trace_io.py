@@ -4,6 +4,8 @@ Paper: traces are binary to reduce size and parsing delay, and may be
 compressed with gzip/bzip2/xz; Aftermath opens compressed traces
 directly.  Records interleave freely as long as per-core timestamps
 are ordered.
+
+Mapping: docs/paper-mapping.md.
 """
 
 import os

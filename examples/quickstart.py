@@ -1,29 +1,38 @@
 #!/usr/bin/env python3
 """Quickstart: simulate a task-parallel run, trace it, analyze it.
 
-Walks the full pipeline in five steps:
+This script is the runnable version of the README's quickstart.  It
+walks the full pipeline in six steps:
 
 1. build a NUMA machine and the seidel task graph;
 2. execute it on the simulated work-stealing run-time with tracing;
 3. compute statistics and derived metrics (Aftermath's core);
 4. render the timeline in state mode to a PPM image;
-5. save the trace to a compressed file and load it back.
+5. save the trace to a compressed file and load it back;
+6. process the trace file *out-of-core*: a constant-memory streaming
+   pass, the sharded parallel equivalent, and a seek-to-window
+   extraction through the chunk index — the paths that keep working
+   when the trace no longer fits in RAM (docs/architecture.md).
 
 Run:  python examples/quickstart.py [output-directory]
 """
 
+import os
 import sys
 
+from repro.analysis import parallel_streaming_statistics
 from repro.core import (WorkerState, average_parallelism, interval_report,
                         reconstruct_task_graph, state_count_series)
 from repro.render import StateMode, TimelineView, render_timeline
 from repro.runtime import (Machine, RandomStealScheduler, TraceCollector,
                            run_program)
-from repro.trace_format import read_trace, write_trace
+from repro.trace_format import (ScanStats, read_trace, split_time_window,
+                                streaming_statistics, write_trace)
 from repro.workloads import SeidelConfig, build_seidel
 
 
 def main(output_dir="."):
+    os.makedirs(output_dir, exist_ok=True)
     # 1. A machine with 4 NUMA nodes x 8 cores, and a blocked 2-D
     #    stencil: 12x12 blocks of 64x64 doubles, 8 Gauss-Seidel sweeps.
     machine = Machine(num_nodes=4, cores_per_node=8, name="quickstart")
@@ -69,6 +78,25 @@ def main(output_dir="."):
     print("trace file: {} records -> {}".format(records, trace_path))
     print("reloaded: {} (identical task count: {})".format(
         reloaded, len(reloaded.tasks) == len(trace.tasks)))
+
+    # 6. The out-of-core path: the same analyses straight from the
+    #    file, in bounded memory.  Uncompressed files get a seekable
+    #    chunk index, so extracting a window of a huge trace reads
+    #    only the chunks that overlap it.
+    indexed_path = "{}/quickstart.ost".format(output_dir)
+    write_trace(trace, indexed_path)
+    stats = streaming_statistics(indexed_path)
+    print("\nstreaming pass:", stats.describe().splitlines()[0])
+    parallel = parallel_streaming_statistics(indexed_path)
+    print("parallel map-reduce identical to serial pass:",
+          parallel == stats)
+    scan = ScanStats()
+    window = split_time_window(indexed_path, trace.begin,
+                               trace.begin + trace.duration // 10,
+                               stats=scan)
+    print("10% window: {} tasks, read {:.1%} of the file's bytes"
+          .format(len(window.tasks),
+                  scan.bytes_read / os.path.getsize(indexed_path)))
 
 
 if __name__ == "__main__":

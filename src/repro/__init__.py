@@ -12,7 +12,12 @@ Subpackages:
   optimizations (predominant pixel, rectangle aggregation, min/max
   counter lines).
 * :mod:`repro.trace_format` — the binary trace format with transparent
-  compression.
+  compression, constant-memory streaming, and the seekable chunk index
+  that lets readers jump straight to a time window of a
+  bigger-than-RAM trace (``docs/trace-format.md``).
+* :mod:`repro.analysis` — the out-of-core parallel engine: map-reduce
+  over index chunks across worker processes, the paper conclusion's
+  "out-of-core processing of large traces".
 * :mod:`repro.runtime` — the simulated NUMA machine and task-parallel
   run-time used as the substrate generating traces.
 * :mod:`repro.workloads` — the paper's applications (seidel, k-means).

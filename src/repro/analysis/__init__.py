@@ -1,0 +1,17 @@
+"""Out-of-core analysis: parallel map-reduce over indexed trace files.
+
+This package sits above :mod:`repro.trace_format` and below the
+interactive views in :mod:`repro.core`: it computes the same summary
+statistics as the in-memory paths, but from trace *files*, in bounded
+memory, sharded across worker processes.  See ``docs/architecture.md``
+for where it fits in the data flow.
+"""
+
+from .parallel import (CommMatrixAccumulator, TaskHistogramAccumulator,
+                       parallel_comm_matrix, parallel_map_reduce,
+                       parallel_streaming_statistics,
+                       parallel_task_histogram)
+
+__all__ = ["CommMatrixAccumulator", "TaskHistogramAccumulator",
+           "parallel_comm_matrix", "parallel_map_reduce",
+           "parallel_streaming_statistics", "parallel_task_histogram"]

@@ -39,8 +39,10 @@ from .numa import (average_remote_fraction, task_node_bytes,
 from .statistics import (IntervalReport, average_parallelism,
                          counter_histogram,
                          communication_matrix, interval_report,
+                         interval_report_out_of_core,
                          locality_fraction, per_core_state_time,
-                         state_time_summary, steal_matrix,
+                         state_time_summary,
+                         state_time_summary_out_of_core, steal_matrix,
                          task_duration_histogram)
 from .schedule_analysis import (CriticalPathReport, TypeProfileEntry,
                                 critical_path_report, describe_profile,
@@ -80,7 +82,9 @@ __all__ = [
     "task_duration_stats", "average_remote_fraction", "task_node_bytes",
     "task_predominant_nodes", "task_remote_fractions", "IntervalReport",
     "average_parallelism", "communication_matrix", "interval_report",
-    "locality_fraction", "per_core_state_time", "state_time_summary",
+    "interval_report_out_of_core", "locality_fraction",
+    "per_core_state_time", "state_time_summary",
+    "state_time_summary_out_of_core",
     "steal_matrix", "task_duration_histogram", "counter_histogram", "Symbol", "SymbolTable",
     "resolve_task", "symbols_from_trace", "TaskGraph", "export_dot",
     "graph_from_program", "reconstruct_task_graph", "to_networkx",

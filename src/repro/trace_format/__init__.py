@@ -1,17 +1,31 @@
-"""Binary trace format with transparent compression (Section VI-A)."""
+"""Binary trace format with transparent compression (Section VI-A).
 
+The out-of-core additions — seekable chunk index, chunk-granular
+reading, synthetic trace files — are documented in
+``docs/trace-format.md`` and ``docs/architecture.md``.
+"""
+
+from .chunked import (ChunkEntry, ChunkIndex, ScanStats,
+                      read_chunk_index, stream_window_records)
 from .compression import codec_for_path, open_trace_file
 from .format import FormatError, MAGIC, RecordTag, VERSION
 from .paraver import export_paraver
 from .reader import read_trace, read_trace_stream
-from .streaming import (StreamingStatistics, split_time_window,
-                        stream_records, streaming_statistics,
+from .streaming import (StreamingStatistics, TaskHistogramAccumulator,
+                        build_window, split_time_window, stream_records,
+                        streaming_state_summary, streaming_statistics,
                         streaming_task_histogram)
-from .writer import TraceWriter, write_trace
+from .synthesize import write_synthetic_trace
+from .writer import (DEFAULT_CHUNK_RECORDS, IndexedTraceWriter,
+                     TraceWriter, write_trace)
 
-__all__ = ["codec_for_path", "open_trace_file", "FormatError", "MAGIC",
-           "RecordTag", "VERSION", "export_paraver", "read_trace",
-           "read_trace_stream", "StreamingStatistics",
-           "split_time_window", "stream_records",
+__all__ = ["ChunkEntry", "ChunkIndex", "ScanStats", "read_chunk_index",
+           "stream_window_records", "codec_for_path", "open_trace_file",
+           "FormatError", "MAGIC", "RecordTag", "VERSION",
+           "export_paraver", "read_trace", "read_trace_stream",
+           "StreamingStatistics", "TaskHistogramAccumulator",
+           "build_window", "split_time_window",
+           "stream_records", "streaming_state_summary",
            "streaming_statistics", "streaming_task_histogram",
-           "TraceWriter", "write_trace"]
+           "write_synthetic_trace", "DEFAULT_CHUNK_RECORDS",
+           "IndexedTraceWriter", "TraceWriter", "write_trace"]

@@ -1,0 +1,199 @@
+"""Chunk-granular trace reading through the seekable index.
+
+The paper's conclusion names "the out-of-core processing of large
+traces" as future work: Aftermath loads whole traces into memory, so
+every windowed query on a bigger-than-RAM trace would pay a full-file
+scan.  This module is the read side of the chunk index written by
+:class:`repro.trace_format.writer.IndexedTraceWriter`:
+
+* :func:`read_chunk_index` — load the footer directory of per-core
+  time-range -> file-offset entries (``None`` when the file has no
+  index, e.g. compressed or pre-index traces);
+* :func:`iter_chunk_records` — parse exactly one chunk;
+* :func:`stream_window_records` — yield the preamble plus every chunk
+  overlapping a time window, seeking past the rest.  Falls back to a
+  full sequential scan on unindexed files, so callers never need to
+  know whether an index is present;
+* :class:`ScanStats` — bytes/chunks touched, the currency of the
+  out-of-core engine ("how much of the file did this query read?").
+
+Chunk granularity is deliberately coarse: entries only promise that
+every record *outside* their time range is skippable, so callers must
+still filter individual records — exactly what
+:func:`repro.trace_format.streaming.split_time_window` does anyway.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass
+
+from . import format as fmt
+from .compression import codec_for_path
+from .reader import _Stream, check_header, parse_records
+
+
+@dataclass(frozen=True)
+class ChunkEntry:
+    """One directory entry: where a chunk lives and what it covers."""
+
+    offset: int
+    length: int
+    t_min: int
+    t_max: int
+    records: int
+    core: int               # fmt.MIXED_CORES when records span cores
+    flags: int
+
+    @property
+    def has_static(self):
+        """Whether the chunk holds static records and must always be
+        read, whatever the requested window."""
+        return bool(self.flags & fmt.CHUNK_HAS_STATIC)
+
+    def overlaps(self, start, end):
+        """Whether any record in the chunk may intersect
+        ``[start, end)``."""
+        return self.t_min < end and self.t_max >= start
+
+
+@dataclass(frozen=True)
+class ChunkIndex:
+    """The parsed footer directory of an indexed trace file."""
+
+    entries: tuple
+    preamble_offset: int    # first byte after the file header
+    preamble_length: int    # static records before the first chunk
+    index_offset: int       # where the footer begins
+
+    @property
+    def num_chunks(self):
+        """Number of chunks in the directory."""
+        return len(self.entries)
+
+    @property
+    def num_records(self):
+        """Total records covered by the chunks (preamble excluded)."""
+        return sum(entry.records for entry in self.entries)
+
+    def select(self, start, end):
+        """The entries a window query over ``[start, end)`` must read."""
+        return [entry for entry in self.entries
+                if entry.has_static or entry.overlaps(start, end)]
+
+
+@dataclass
+class ScanStats:
+    """How much of a trace file a query actually touched."""
+
+    bytes_read: int = 0
+    chunks_read: int = 0
+    chunks_skipped: int = 0
+    used_index: bool = False
+
+    def account(self, nbytes):
+        """Add ``nbytes`` to the bytes-read tally."""
+        self.bytes_read += nbytes
+
+
+def read_chunk_index(path):
+    """Load the chunk index of ``path``, or ``None`` if absent.
+
+    Absent means: the file is compressed (not seekable), too small to
+    hold a trailer, or simply ends without the index magic — a plain
+    pre-index trace.  Corruption *inside* a present index raises
+    :class:`~repro.trace_format.format.FormatError`.
+    """
+    if codec_for_path(path) is not None:
+        return None
+    file_size = os.path.getsize(path)
+    if file_size < fmt.HEADER.size + fmt.INDEX_TRAILER.size:
+        return None
+    with open(path, "rb") as stream:
+        stream.seek(file_size - fmt.INDEX_TRAILER.size)
+        index_offset, magic = fmt.INDEX_TRAILER.unpack(
+            stream.read(fmt.INDEX_TRAILER.size))
+        if magic != fmt.INDEX_MAGIC:
+            return None
+        if index_offset < fmt.HEADER.size or index_offset >= file_size:
+            raise fmt.FormatError("chunk-index offset out of range")
+        stream.seek(index_offset)
+        reader = _Stream(stream)
+        (tag,) = fmt.TAG.unpack(reader.exactly(fmt.TAG.size))
+        if tag != fmt.RecordTag.CHUNK_INDEX:
+            raise fmt.FormatError("chunk-index trailer points to tag {}"
+                                  .format(tag))
+        (count,) = fmt.INDEX_HEADER.unpack(
+            reader.exactly(fmt.INDEX_HEADER.size))
+        entries = tuple(
+            ChunkEntry(*fmt.CHUNK_ENTRY.unpack(
+                reader.exactly(fmt.CHUNK_ENTRY.size)))
+            for __ in range(count))
+    preamble_offset = fmt.HEADER.size
+    first_chunk = entries[0].offset if entries else index_offset
+    return ChunkIndex(entries=entries,
+                      preamble_offset=preamble_offset,
+                      preamble_length=first_chunk - preamble_offset,
+                      index_offset=index_offset)
+
+
+def _read_span(stream, offset, length, stats=None):
+    """Read ``length`` bytes at ``offset`` and parse them as records."""
+    stream.seek(offset)
+    data = stream.read(length)
+    if len(data) != length:
+        raise fmt.FormatError("truncated trace chunk")
+    if stats is not None:
+        stats.account(length)
+    return parse_records(_Stream(io.BytesIO(data)))
+
+
+def iter_chunk_records(stream, entry, stats=None):
+    """Yield ``(kind, fields)`` for the records of one chunk.
+
+    ``stream`` is the open binary trace file (uncompressed).  Used both
+    by the window reader below and by the per-worker shard scans in
+    :mod:`repro.analysis.parallel`.
+    """
+    if stats is not None:
+        stats.chunks_read += 1
+    return _read_span(stream, entry.offset, entry.length, stats)
+
+
+def iter_preamble_records(stream, index, stats=None):
+    """Yield the static records written before the first chunk."""
+    if index.preamble_length == 0:
+        return iter(())
+    return _read_span(stream, index.preamble_offset,
+                      index.preamble_length, stats)
+
+
+def stream_window_records(path, start, end, stats=None):
+    """Yield ``(kind, fields)`` for a time-window query on ``path``.
+
+    With an index present, this seeks: the preamble and every chunk
+    overlapping ``[start, end)`` are read, everything else is skipped
+    (chunk granularity — records outside the window may still be
+    yielded and must be filtered by the caller).  Without an index the
+    whole file is scanned, so the function is safe on any trace file.
+    ``stats``, if given, is a :class:`ScanStats` filled in either case.
+    """
+    index = read_chunk_index(path)
+    if index is None:
+        # Backward-compatible path: unindexed or compressed file.
+        from .streaming import stream_records
+        if stats is not None:
+            stats.used_index = False
+            stats.account(os.path.getsize(path))
+        yield from stream_records(path)
+        return
+    if stats is not None:
+        stats.used_index = True
+    selected = index.select(start, end)
+    if stats is not None:
+        stats.chunks_skipped = index.num_chunks - len(selected)
+    with open(path, "rb") as stream:
+        yield from iter_preamble_records(stream, index, stats)
+        for entry in selected:
+            yield from iter_chunk_records(stream, entry, stats)

@@ -45,6 +45,7 @@ class RecordTag(enum.IntEnum):
     DISCRETE_EVENT = 8
     COMM_EVENT = 9
     MEMORY_ACCESS = 10
+    CHUNK_INDEX = 11
 
 
 TAG = struct.Struct("<B")
@@ -64,8 +65,35 @@ MEMORY_ACCESS = struct.Struct("<qIqqBq")        # task, core, addr, size,
 STRING_LENGTH = struct.Struct("<H")
 PAGE_NODE = struct.Struct("<i")
 
+# --- seekable chunk index (optional footer) ---------------------------------
+#
+# An indexed trace appends one CHUNK_INDEX record after the last data
+# record: a directory of per-core time-range -> file-offset entries that
+# lets readers seek directly to the chunks overlapping a time window
+# instead of scanning the whole file.  A fixed-size trailer terminates
+# the file so the directory can be found by seeking from the end; files
+# without the trailer (older traces, or compressed streams, which are
+# not seekable) simply fall back to a full scan.
+
+INDEX_MAGIC = b"AFTMIDX1"
+
+# Per-chunk directory entry: byte offset of the first record, byte
+# length of the chunk, inclusive time range [t_min, t_max] of its
+# events, number of records, originating core (-1 when mixed) and a
+# flags byte.
+CHUNK_ENTRY = struct.Struct("<QQqqIiB")
+INDEX_HEADER = struct.Struct("<I")          # number of entries
+INDEX_TRAILER = struct.Struct("<Q8s")       # offset of the index, magic
+
+#: Flag: the chunk contains static records (topology, descriptions);
+#: readers must visit it regardless of the requested time window.
+CHUNK_HAS_STATIC = 0x01
+
+MIXED_CORES = -1
+
 
 def pack_string(text):
+    """Encode ``text`` as a length-prefixed UTF-8 string field."""
     data = text.encode("utf-8")[:0xFFFF]
     return STRING_LENGTH.pack(len(data)) + data
 

@@ -9,6 +9,14 @@ The reader implements the format's *incremental* philosophy: a trace
 that lacks memory accesses still loads and supports duration- and
 counter-based analyses; a trace without counter samples still renders
 every timeline mode (Section VI-A).
+
+The record-parsing loop lives in :func:`parse_records` and is shared by
+the full-file readers here, the constant-memory iterators in
+:mod:`repro.trace_format.streaming` and the seek-to-window readers in
+:mod:`repro.trace_format.chunked`.  A chunk-index footer (written by
+:class:`repro.trace_format.writer.IndexedTraceWriter`) is recognized
+and skipped transparently, so indexed files stay readable by every
+sequential-scan code path.
 """
 
 from __future__ import annotations
@@ -42,6 +50,83 @@ class _Stream:
         return self.exactly(length).decode("utf-8")
 
 
+def check_header(stream):
+    """Consume and validate the file header of a :class:`_Stream`."""
+    magic, version = fmt.HEADER.unpack(stream.exactly(fmt.HEADER.size))
+    if magic != fmt.MAGIC:
+        raise fmt.FormatError("not an Aftermath trace (bad magic)")
+    if version != fmt.VERSION:
+        raise fmt.FormatError(
+            "unsupported trace version {}".format(version))
+
+
+def parse_records(stream):
+    """Yield ``(kind, fields)`` for every record until EOF.
+
+    ``stream`` is a :class:`_Stream` positioned after the file header
+    (or at the start of a chunk).  ``kind`` is the builder method name
+    for events (for example ``"state_interval"``) or ``"topology"`` /
+    ``"counter_description"`` / ``"task_type"`` / ``"region"`` for
+    static records, whose ``fields`` are the corresponding dataclasses.
+    A chunk-index footer is validated and skipped, never yielded.
+    """
+    while True:
+        tag_byte = stream.maybe_byte()
+        if tag_byte is None:
+            return
+        (tag,) = fmt.TAG.unpack(tag_byte)
+        if tag == fmt.RecordTag.TOPOLOGY:
+            nodes, per_node = fmt.TOPOLOGY.unpack(
+                stream.exactly(fmt.TOPOLOGY.size))
+            yield "topology", TopologyInfo(
+                num_nodes=nodes, cores_per_node=per_node,
+                name=stream.string())
+        elif tag == fmt.RecordTag.COUNTER_DESCRIPTION:
+            counter_id, monotone = fmt.COUNTER_DESCRIPTION.unpack(
+                stream.exactly(fmt.COUNTER_DESCRIPTION.size))
+            yield "counter_description", CounterDescription(
+                counter_id=counter_id, name=stream.string(),
+                monotone=bool(monotone))
+        elif tag == fmt.RecordTag.TASK_TYPE:
+            type_id, address, line = fmt.TASK_TYPE.unpack(
+                stream.exactly(fmt.TASK_TYPE.size))
+            name = stream.string()
+            source = stream.string()
+            yield "task_type", TaskTypeInfo(
+                type_id=type_id, name=name, address=address,
+                source_file=source, source_line=line)
+        elif tag == fmt.RecordTag.REGION:
+            region_id, address, size, pages = fmt.REGION.unpack(
+                stream.exactly(fmt.REGION.size))
+            nodes = tuple(fmt.PAGE_NODE.unpack(
+                stream.exactly(fmt.PAGE_NODE.size))[0]
+                for __ in range(pages))
+            yield "region", RegionInfo(
+                region_id=region_id, address=address, size=size,
+                page_nodes=nodes, name=stream.string())
+        elif tag == fmt.RecordTag.CHUNK_INDEX:
+            _skip_chunk_index(stream)
+        elif tag in _EVENT_DECODERS:
+            structure, record = _EVENT_DECODERS[tag]
+            yield record, structure.unpack(
+                stream.exactly(structure.size))
+        else:
+            raise fmt.FormatError("unknown record tag {}".format(tag))
+
+
+def _skip_chunk_index(stream):
+    """Consume a chunk-index footer (entries plus trailer) during a
+    sequential scan.  The directory is only useful through the seeking
+    readers in :mod:`repro.trace_format.chunked`."""
+    (count,) = fmt.INDEX_HEADER.unpack(
+        stream.exactly(fmt.INDEX_HEADER.size))
+    stream.exactly(count * fmt.CHUNK_ENTRY.size)
+    __, magic = fmt.INDEX_TRAILER.unpack(
+        stream.exactly(fmt.INDEX_TRAILER.size))
+    if magic != fmt.INDEX_MAGIC:
+        raise fmt.FormatError("corrupt chunk-index trailer")
+
+
 def read_trace(path):
     """Load a trace file and return the indexed :class:`Trace`."""
     with open_trace_file(path, "rb") as raw:
@@ -49,59 +134,25 @@ def read_trace(path):
 
 
 def read_trace_stream(raw):
+    """Load a trace from an open binary stream (header included)."""
     stream = _Stream(raw)
-    magic, version = fmt.HEADER.unpack(stream.exactly(fmt.HEADER.size))
-    if magic != fmt.MAGIC:
-        raise fmt.FormatError("not an Aftermath trace (bad magic)")
-    if version != fmt.VERSION:
-        raise fmt.FormatError(
-            "unsupported trace version {}".format(version))
+    check_header(stream)
     topology = None
     counters = []
     task_types = []
     regions = []
     events = []
-    while True:
-        tag_byte = stream.maybe_byte()
-        if tag_byte is None:
-            break
-        (tag,) = fmt.TAG.unpack(tag_byte)
-        if tag == fmt.RecordTag.TOPOLOGY:
-            nodes, per_node = fmt.TOPOLOGY.unpack(
-                stream.exactly(fmt.TOPOLOGY.size))
-            name = stream.string()
-            topology = TopologyInfo(num_nodes=nodes,
-                                    cores_per_node=per_node, name=name)
-        elif tag == fmt.RecordTag.COUNTER_DESCRIPTION:
-            counter_id, monotone = fmt.COUNTER_DESCRIPTION.unpack(
-                stream.exactly(fmt.COUNTER_DESCRIPTION.size))
-            counters.append(CounterDescription(
-                counter_id=counter_id, name=stream.string(),
-                monotone=bool(monotone)))
-        elif tag == fmt.RecordTag.TASK_TYPE:
-            type_id, address, line = fmt.TASK_TYPE.unpack(
-                stream.exactly(fmt.TASK_TYPE.size))
-            name = stream.string()
-            source = stream.string()
-            task_types.append(TaskTypeInfo(
-                type_id=type_id, name=name, address=address,
-                source_file=source, source_line=line))
-        elif tag == fmt.RecordTag.REGION:
-            region_id, address, size, pages = fmt.REGION.unpack(
-                stream.exactly(fmt.REGION.size))
-            nodes = tuple(
-                fmt.PAGE_NODE.unpack(stream.exactly(fmt.PAGE_NODE.size))[0]
-                for __ in range(pages))
-            name = stream.string()
-            regions.append(RegionInfo(region_id=region_id, address=address,
-                                      size=size, page_nodes=nodes,
-                                      name=name))
-        elif tag in _EVENT_DECODERS:
-            structure, record = _EVENT_DECODERS[tag]
-            events.append((record,
-                           structure.unpack(stream.exactly(structure.size))))
+    for kind, fields in parse_records(stream):
+        if kind == "topology":
+            topology = fields
+        elif kind == "counter_description":
+            counters.append(fields)
+        elif kind == "task_type":
+            task_types.append(fields)
+        elif kind == "region":
+            regions.append(fields)
         else:
-            raise fmt.FormatError("unknown record tag {}".format(tag))
+            events.append((kind, fields))
     if topology is None:
         raise fmt.FormatError("trace has no topology record")
     builder = TraceBuilder(topology)

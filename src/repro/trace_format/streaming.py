@@ -8,11 +8,17 @@ materializing the in-memory :class:`Trace`:
 
 * :func:`stream_records` — iterate (record_kind, fields) pairs;
 * :class:`StreamingStatistics` — one-pass per-state times, task
-  counts/durations per type, counter extremes and time bounds;
+  counts/durations per type, counter extremes and time bounds; partial
+  accumulators over disjoint record sets combine with :meth:`merge`,
+  which is what the map-reduce layer in
+  :mod:`repro.analysis.parallel` shards across worker processes;
 * :func:`streaming_state_summary` / :func:`streaming_task_histogram` —
   the common statistics views computed out-of-core;
 * :func:`split_time_window` — extract a time window of a huge trace
   into a small in-memory :class:`Trace` for interactive analysis.
+  When the file carries a seekable chunk index (see
+  :mod:`repro.trace_format.chunked`), only the chunks overlapping the
+  window are read instead of the whole file.
 
 Accumulators rely only on the format's ordering guarantee (per-core
 timestamp order) and tolerate arbitrary record interleaving.
@@ -21,14 +27,15 @@ timestamp order) and tolerate arbitrary record interleaving.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from ..core.events import (CounterDescription, RegionInfo, TaskTypeInfo,
-                           TopologyInfo)
+import numpy as np
+
+from ..core.events import TopologyInfo
 from ..core.trace import TraceBuilder
 from . import format as fmt
 from .compression import open_trace_file
-from .reader import _EVENT_DECODERS, _Stream
+from .reader import _Stream, check_header, parse_records
 
 
 def stream_records(path):
@@ -38,63 +45,23 @@ def stream_records(path):
     ``"state_interval"``) or ``"topology"`` / ``"counter_description"``
     / ``"task_type"`` / ``"region"`` for static records, whose
     ``fields`` are the corresponding dataclasses.  Memory use is
-    constant regardless of the trace size.
+    constant regardless of the trace size.  A chunk-index footer, if
+    present, is skipped transparently.
     """
     with open_trace_file(path, "rb") as raw:
         stream = _Stream(raw)
-        magic, version = fmt.HEADER.unpack(stream.exactly(
-            fmt.HEADER.size))
-        if magic != fmt.MAGIC:
-            raise fmt.FormatError("not an Aftermath trace (bad magic)")
-        if version != fmt.VERSION:
-            raise fmt.FormatError("unsupported trace version {}"
-                                  .format(version))
-        while True:
-            tag_byte = stream.maybe_byte()
-            if tag_byte is None:
-                return
-            (tag,) = fmt.TAG.unpack(tag_byte)
-            if tag == fmt.RecordTag.TOPOLOGY:
-                nodes, per_node = fmt.TOPOLOGY.unpack(
-                    stream.exactly(fmt.TOPOLOGY.size))
-                yield "topology", TopologyInfo(
-                    num_nodes=nodes, cores_per_node=per_node,
-                    name=stream.string())
-            elif tag == fmt.RecordTag.COUNTER_DESCRIPTION:
-                counter_id, monotone = fmt.COUNTER_DESCRIPTION.unpack(
-                    stream.exactly(fmt.COUNTER_DESCRIPTION.size))
-                yield "counter_description", CounterDescription(
-                    counter_id=counter_id, name=stream.string(),
-                    monotone=bool(monotone))
-            elif tag == fmt.RecordTag.TASK_TYPE:
-                type_id, address, line = fmt.TASK_TYPE.unpack(
-                    stream.exactly(fmt.TASK_TYPE.size))
-                name = stream.string()
-                source = stream.string()
-                yield "task_type", TaskTypeInfo(
-                    type_id=type_id, name=name, address=address,
-                    source_file=source, source_line=line)
-            elif tag == fmt.RecordTag.REGION:
-                region_id, address, size, pages = fmt.REGION.unpack(
-                    stream.exactly(fmt.REGION.size))
-                nodes = tuple(fmt.PAGE_NODE.unpack(
-                    stream.exactly(fmt.PAGE_NODE.size))[0]
-                    for __ in range(pages))
-                yield "region", RegionInfo(
-                    region_id=region_id, address=address, size=size,
-                    page_nodes=nodes, name=stream.string())
-            elif tag in _EVENT_DECODERS:
-                structure, record = _EVENT_DECODERS[tag]
-                yield record, structure.unpack(
-                    stream.exactly(structure.size))
-            else:
-                raise fmt.FormatError("unknown record tag {}"
-                                      .format(tag))
+        check_header(stream)
+        yield from parse_records(stream)
 
 
 @dataclass
 class StreamingStatistics:
-    """Constant-memory accumulator over one pass of a trace file."""
+    """Constant-memory accumulator over one pass of a trace file.
+
+    Accumulators built from *disjoint* record subsets (for example one
+    per chunk shard) combine losslessly with :meth:`merge`: every field
+    is a sum, min/max or union, so ``serial == merge(parts)`` exactly.
+    """
 
     topology: Optional[TopologyInfo] = None
     records: int = 0
@@ -115,6 +82,7 @@ class StreamingStatistics:
         self.end = end if self.end is None else max(self.end, end)
 
     def consume(self, kind, fields):
+        """Fold one ``(kind, fields)`` record into the accumulator."""
         self.records += 1
         if kind == "topology":
             self.topology = fields
@@ -143,17 +111,49 @@ class StreamingStatistics:
             self.memory_accesses += 1
             self.bytes_accessed += fields[3]
 
+    def merge(self, other):
+        """Fold another accumulator (over disjoint records) into this
+        one.  Returns ``self`` so reductions can chain."""
+        if other.topology is not None:
+            self.topology = other.topology
+        self.records += other.records
+        if other.begin is not None:
+            self._stretch(other.begin, other.end)
+        for state, cycles in other.state_cycles.items():
+            self.state_cycles[state] = (self.state_cycles.get(state, 0)
+                                        + cycles)
+        for type_id, count in other.tasks_per_type.items():
+            self.tasks_per_type[type_id] = (
+                self.tasks_per_type.get(type_id, 0) + count)
+        for type_id, cycles in other.duration_per_type.items():
+            self.duration_per_type[type_id] = (
+                self.duration_per_type.get(type_id, 0) + cycles)
+        for counter_id, (lo, hi) in other.counter_extremes.items():
+            mine = self.counter_extremes.get(counter_id)
+            if mine is None:
+                self.counter_extremes[counter_id] = (lo, hi)
+            else:
+                self.counter_extremes[counter_id] = (min(mine[0], lo),
+                                                     max(mine[1], hi))
+        self.type_names.update(other.type_names)
+        self.memory_accesses += other.memory_accesses
+        self.bytes_accessed += other.bytes_accessed
+        return self
+
     @property
     def total_tasks(self):
+        """Total task executions seen, across all types."""
         return sum(self.tasks_per_type.values())
 
     def mean_duration(self, type_id):
+        """Mean duration of the tasks of ``type_id`` (0.0 if none)."""
         count = self.tasks_per_type.get(type_id, 0)
         if count == 0:
             return 0.0
         return self.duration_per_type[type_id] / count
 
     def describe(self):
+        """Human-readable multi-line summary of the accumulator."""
         lines = ["streamed {} records".format(self.records)]
         if self.begin is not None:
             lines.append("time range [{} .. {}]".format(self.begin,
@@ -167,11 +167,58 @@ class StreamingStatistics:
 
 
 def streaming_statistics(path):
-    """One out-of-core pass: summary statistics of a trace file."""
+    """One out-of-core pass: summary statistics of a trace file.
+
+    For the sharded multi-process equivalent see
+    :func:`repro.analysis.parallel.parallel_streaming_statistics`.
+    """
     statistics = StreamingStatistics()
     for kind, fields in stream_records(path):
         statistics.consume(kind, fields)
     return statistics
+
+
+def streaming_state_summary(path):
+    """Out-of-core per-state cycle totals (the whole-trace analogue of
+    :func:`repro.core.statistics.state_time_summary`)."""
+    return streaming_statistics(path).state_cycles
+
+
+class TaskHistogramAccumulator:
+    """Mergeable task-duration histogram with fixed bin edges.
+
+    The single definition of the out-of-core binning: the serial
+    :func:`streaming_task_histogram` folds records into one instance,
+    and the sharded pass in :mod:`repro.analysis.parallel` merges one
+    instance per shard — so the two paths cannot drift apart.
+    Durations outside ``value_range`` are clamped into the edge bins.
+    """
+
+    def __init__(self, bins, value_range):
+        if bins < 1:
+            raise ValueError("need at least one bin")
+        lo, hi = value_range
+        if hi <= lo:
+            raise ValueError("empty histogram range")
+        self.bins = bins
+        self.lo = lo
+        self.hi = hi
+        self.width = (hi - lo) / bins
+        self.edges = np.linspace(lo, hi, bins + 1)
+        self.counts = np.zeros(bins, dtype=np.int64)
+
+    def consume(self, kind, fields):
+        """Bin one task execution; other record kinds are ignored."""
+        if kind != "task_execution":
+            return
+        duration = fields[4] - fields[3]
+        index = int((duration - self.lo) / self.width)
+        self.counts[min(max(index, 0), self.bins - 1)] += 1
+
+    def merge(self, other):
+        """Add another histogram's counts (same edges assumed)."""
+        self.counts += other.counts
+        return self
 
 
 def streaming_task_histogram(path, bins, value_range):
@@ -181,32 +228,40 @@ def streaming_task_histogram(path, bins, value_range):
     cannot know the duration range in advance); durations outside it
     are clamped into the edge bins.  Returns ``(edges, counts)``.
     """
-    import numpy as np
-
-    if bins < 1:
-        raise ValueError("need at least one bin")
-    lo, hi = value_range
-    if hi <= lo:
-        raise ValueError("empty histogram range")
-    edges = np.linspace(lo, hi, bins + 1)
-    counts = np.zeros(bins, dtype=np.int64)
-    width = (hi - lo) / bins
+    accumulator = TaskHistogramAccumulator(bins, value_range)
     for kind, fields in stream_records(path):
-        if kind != "task_execution":
-            continue
-        duration = fields[4] - fields[3]
-        index = int((duration - lo) / width)
-        counts[min(max(index, 0), bins - 1)] += 1
-    return edges, counts
+        accumulator.consume(kind, fields)
+    return accumulator.edges, accumulator.counts
 
 
-def split_time_window(path, start, end):
+def split_time_window(path, start, end, use_index=True, stats=None):
     """Extract [start, end) of a huge trace into an in-memory Trace.
 
     Static records are kept in full; event records are dropped unless
     they overlap the window.  This is the out-of-core navigation
     pattern: stream once, then interact with the small window.
+
+    When the file carries a chunk index and ``use_index`` is true, the
+    pass seeks directly to the overlapping chunks and reads only those
+    bytes; unindexed (or compressed) files fall back to the full scan.
+    ``stats``, if given, is a
+    :class:`~repro.trace_format.chunked.ScanStats` reporting how many
+    bytes the extraction actually read.
     """
+    if use_index:
+        from .chunked import stream_window_records
+        records = stream_window_records(path, start, end, stats=stats)
+    else:
+        records = stream_records(path)
+    return build_window(records, start, end)
+
+
+def build_window(records, start, end):
+    """Assemble an in-memory :class:`Trace` from a ``(kind, fields)``
+    stream, keeping static records and the events overlapping
+    ``[start, end)``.  Factored out of :func:`split_time_window` so
+    both the sequential and the chunk-seeking paths share the exact
+    same filtering semantics."""
     def add_static(builder, kind, fields):
         if kind == "counter_description":
             while len(builder.counter_descriptions) < fields.counter_id:
@@ -220,7 +275,7 @@ def split_time_window(path, start, end):
 
     builder = None
     pending_static = []
-    for kind, fields in stream_records(path):
+    for kind, fields in records:
         if kind == "topology":
             builder = TraceBuilder(fields)
             for static_kind, payload in pending_static:

@@ -1,0 +1,107 @@
+"""Synthetic trace *files* for out-of-core tests and benchmarks.
+
+The workload generators in :mod:`repro.workloads` build task graphs
+that must be simulated to yield a trace — far too slow to produce the
+multi-million-event files the out-of-core engine is designed for.
+This module writes plausible trace files directly through the record
+writer: per-core monotone clocks, a realistic record mix (state
+intervals, task executions, counter samples, discrete/communication
+events, memory accesses) and the usual static preamble.  Generation is
+deterministic in ``seed`` and costs a few microseconds per event, so
+"≥ 1M events" is a cheap fixture rather than a simulation campaign.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..core.events import (CounterDescription, RegionInfo, TaskTypeInfo,
+                           TopologyInfo, WorkerState)
+from .compression import codec_for_path, open_trace_file
+from .writer import DEFAULT_CHUNK_RECORDS, IndexedTraceWriter, TraceWriter
+
+_STATES = (WorkerState.RUNNING, WorkerState.RUNNING, WorkerState.RUNNING,
+           WorkerState.IDLE, WorkerState.CREATE, WorkerState.STEAL)
+
+
+def write_synthetic_trace(path, events=1_000_000, nodes=4,
+                          cores_per_node=4, task_types=8, seed=0,
+                          index="auto",
+                          chunk_records=DEFAULT_CHUNK_RECORDS):
+    """Write a synthetic trace of ``events`` event records to ``path``.
+
+    Events are spread round-robin over ``nodes * cores_per_node`` cores,
+    each with its own monotone clock (the format's only ordering
+    requirement).  Roughly half the records are state intervals, a
+    third task executions, and the rest counter samples, discrete
+    events, communication events and memory accesses.  Returns the
+    total number of records written (events plus static preamble).
+
+    ``index`` is forwarded to the writer selection: ``"auto"`` indexes
+    exactly when ``path`` is uncompressed, so the same generator serves
+    both the seekable and the fallback code paths.
+    """
+    if events < 0:
+        raise ValueError("events must be non-negative")
+    num_cores = nodes * cores_per_node
+    rng = random.Random(seed)
+    # Precomputed pseudo-random tables keep the per-event loop cheap.
+    durations = [rng.randrange(200, 20_000) for __ in range(509)]
+    gaps = [rng.randrange(0, 500) for __ in range(253)]
+    sizes = [rng.choice((64, 512, 4096, 65536)) for __ in range(127)]
+    if index == "auto":
+        index = codec_for_path(path) is None
+    with open_trace_file(path, "wb") as stream:
+        if index:
+            writer = IndexedTraceWriter(stream,
+                                        chunk_records=chunk_records)
+        else:
+            writer = TraceWriter(stream)
+        writer.topology(TopologyInfo(num_nodes=nodes,
+                                     cores_per_node=cores_per_node,
+                                     name="synthetic"))
+        writer.counter_description(CounterDescription(
+            counter_id=0, name="cycles", monotone=True))
+        writer.counter_description(CounterDescription(
+            counter_id=1, name="llc_misses", monotone=True))
+        for type_id in range(task_types):
+            writer.task_type(TaskTypeInfo(
+                type_id=type_id, name="synth_{}".format(type_id),
+                address=0x400000 + 64 * type_id,
+                source_file="synthetic.c", source_line=10 + type_id))
+        region_size = 1 << 20
+        writer.region(RegionInfo(
+            region_id=0, address=0x10000000, size=region_size,
+            page_nodes=tuple(page % nodes for page in range(16)),
+            name="synthetic_heap"))
+        clocks = [0] * num_cores
+        task_id = 0
+        for i in range(events):
+            core = i % num_cores
+            t = clocks[core]
+            duration = durations[i % 509]
+            kind = i % 12
+            if kind < 6:
+                writer.state_interval(core, int(_STATES[kind]), t,
+                                      t + duration)
+            elif kind < 10:
+                writer.task_execution(task_id, i % task_types, core, t,
+                                      t + duration)
+                task_id += 1
+            elif kind == 10:
+                writer.counter_sample(core, i % 2, t,
+                                      float(t + duration))
+            else:
+                sub = (i // 12) % 3
+                if sub == 0:
+                    writer.discrete_event(core, 0, t, i)
+                elif sub == 1:
+                    writer.comm_event(core, (core + 1) % num_cores, t,
+                                     sizes[i % 127], task_id)
+                else:
+                    writer.memory_access(task_id, core,
+                                         0x10000000
+                                         + (i * 4096) % region_size,
+                                         sizes[i % 127], i % 2 == 0, t)
+            clocks[core] = t + duration + gaps[i % 253]
+        return writer.finish()

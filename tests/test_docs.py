@@ -1,0 +1,51 @@
+"""The documentation is part of the test surface.
+
+CI runs doctests over the docs' code examples and a docstring-presence
+lint over the public trace-format/analysis API; this module runs the
+same checks locally so they cannot rot between CI environments.
+"""
+
+import doctest
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOC_FILES = ["docs/trace-format.md", "docs/architecture.md"]
+
+
+@pytest.mark.parametrize("relpath", DOC_FILES)
+def test_doc_examples_execute(relpath):
+    results = doctest.testfile(str(ROOT / relpath),
+                               module_relative=False, verbose=False)
+    assert results.attempted > 0, "doc has no examples: " + relpath
+    assert results.failed == 0
+
+
+def test_docs_exist_and_cross_link():
+    readme = (ROOT / "README.md").read_text()
+    for relpath in ("docs/architecture.md", "docs/trace-format.md",
+                    "docs/paper-mapping.md"):
+        assert (ROOT / relpath).is_file(), relpath
+        assert relpath in readme, "README does not link " + relpath
+
+
+def test_paper_mapping_covers_every_benchmark():
+    mapping = (ROOT / "docs" / "paper-mapping.md").read_text()
+    benches = sorted((ROOT / "benchmarks").glob("bench_*.py"))
+    assert benches
+    for bench in benches:
+        assert bench.name in mapping, \
+            bench.name + " missing from docs/paper-mapping.md"
+        assert "docs/paper-mapping.md" in bench.read_text(), \
+            bench.name + " docstring does not link the mapping doc"
+
+
+def test_public_trace_format_api_is_documented():
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        from lint_docstrings import lint
+        assert lint(root=str(ROOT)) == []
+    finally:
+        sys.path.pop(0)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Docstring-presence lint for the public trace-format API.
+
+Every public module, class, function and method in
+``src/repro/trace_format/`` (and, while we are at it,
+``src/repro/analysis/``) must carry a docstring: these are the layers
+external tools integrate against, so the documentation contract is
+enforced in CI.  "Public" means the name does not start with an
+underscore and the module is not private.
+
+Exit status 0 when clean, 1 with one line per offender otherwise.
+
+Usage: python tools/lint_docstrings.py [package-dir ...]
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+DEFAULT_TARGETS = ("src/repro/trace_format", "src/repro/analysis")
+
+
+def _is_public(name):
+    return not name.startswith("_")
+
+
+def _missing_docstrings(path):
+    """Yield ``(lineno, description)`` for every public definition in
+    ``path`` that lacks a docstring.
+
+    Only module-level functions and classes, and the methods of public
+    classes, are checked — helpers nested inside function bodies are
+    implementation detail, not API surface.
+    """
+    tree = ast.parse(path.read_text(), filename=str(path))
+    if ast.get_docstring(tree) is None:
+        yield 1, "module"
+    for node in tree.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+            continue
+        if not _is_public(node.name):
+            continue
+        if ast.get_docstring(node) is None:
+            kind = ("class" if isinstance(node, ast.ClassDef)
+                    else "function")
+            yield node.lineno, "{} {}".format(kind, node.name)
+        if isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if not isinstance(member, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                    continue
+                if not _is_public(member.name):
+                    continue
+                if ast.get_docstring(member) is None:
+                    yield member.lineno, "method {}.{}".format(
+                        node.name, member.name)
+
+
+def lint(targets=DEFAULT_TARGETS, root="."):
+    """Collect offenders over ``targets``; returns a list of report
+    lines (empty when everything is documented)."""
+    problems = []
+    for target in targets:
+        base = pathlib.Path(root) / target
+        for path in sorted(base.rglob("*.py")):
+            if path.name.startswith("_") and path.name != "__init__.py":
+                continue
+            for lineno, what in _missing_docstrings(path):
+                problems.append("{}:{}: missing docstring for {}"
+                                .format(path, lineno, what))
+    return problems
+
+
+def main(argv):
+    targets = argv[1:] or list(DEFAULT_TARGETS)
+    problems = lint(targets)
+    for line in problems:
+        print(line)
+    if problems:
+        print("{} public definition(s) without docstrings"
+              .format(len(problems)))
+        return 1
+    print("docstring lint: {} target(s) clean".format(len(targets)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
