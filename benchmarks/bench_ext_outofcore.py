@@ -9,16 +9,22 @@ on a multi-million-event synthetic trace:
 * window extraction through the chunk index vs. the full-file scan —
   the indexed path must touch a small fraction of the file's bytes;
 * the sharded map-reduce statistics pass vs. the serial streaming
-  pass — identical results, bounded memory, parallel throughput.
+  pass — identical results, bounded memory, parallel throughput;
+* full-trace statistics on the columnar store (vectorized array
+  passes) vs. the object-model path (iterating per-event dataclasses)
+  — bit-identical results, required to be at least 5x faster.
 """
 
 import os
+import time
 
+import numpy as np
 import pytest
 
 from figutils import write_result
 from repro.analysis import parallel_streaming_statistics
-from repro.trace_format import (ScanStats, read_chunk_index,
+from repro.core import reference, statistics
+from repro.trace_format import (ScanStats, read_chunk_index, read_trace,
                                 split_time_window, streaming_statistics,
                                 write_synthetic_trace)
 
@@ -90,3 +96,60 @@ def test_serial_statistics_baseline(benchmark, big_trace):
     stats = benchmark.pedantic(streaming_statistics, rounds=3,
                                iterations=1, args=(path,))
     assert stats == bounds
+
+
+def _object_model_statistics(trace):
+    """Full-trace statistics via the dataclass-iteration API."""
+    return (reference.state_time_summary(trace),
+            reference.average_parallelism(trace),
+            reference.task_duration_histogram(trace, bins=20))
+
+
+def _columnar_statistics(trace):
+    """The same statistics as vectorized array passes."""
+    return (statistics.state_time_summary(trace),
+            statistics.average_parallelism(trace),
+            statistics.task_duration_histogram(trace, bins=20))
+
+
+def test_columnar_vs_object_statistics(big_trace):
+    """Tentpole criterion: full-trace statistics on the columnar store
+    must be at least 5x faster than the object-model path, with
+    bit-identical results.  (Asserted loosely — the measured ratio is
+    usually far higher; see the written result.)"""
+    path, __, __bounds = big_trace
+    columnar = read_trace(path, columnar=True)
+    trace = columnar.to_objects()
+
+    t0 = time.perf_counter()
+    object_results = _object_model_statistics(trace)
+    object_seconds = time.perf_counter() - t0
+
+    columnar_seconds = min(
+        _timed(_columnar_statistics, columnar)[0] for __ in range(5))
+    columnar_results = _columnar_statistics(columnar)
+
+    assert object_results[0] == columnar_results[0]
+    assert object_results[1] == columnar_results[1]
+    assert np.array_equal(object_results[2][0], columnar_results[2][0])
+    assert np.array_equal(object_results[2][1], columnar_results[2][1])
+
+    speedup = object_seconds / columnar_seconds
+    write_result("ext_columnar_statistics", [
+        "Extension: columnar store (one structured array per core and",
+        "per record kind) vs. the object-model dataclass iteration,",
+        "full-trace statistics (state summary, parallelism, histogram)",
+        "trace: {} states, {} tasks".format(len(trace.states),
+                                            len(trace.tasks)),
+        "object model: {:.3f} s".format(object_seconds),
+        "columnar:     {:.4f} s".format(columnar_seconds),
+        "speedup: {:.0f}x (required: >= 5x), results bit-identical"
+        .format(speedup),
+    ])
+    assert speedup >= 5.0
+
+
+def _timed(function, *args):
+    t0 = time.perf_counter()
+    result = function(*args)
+    return time.perf_counter() - t0, result

@@ -28,7 +28,7 @@ def count_peaks(fractions):
     return peaks
 
 
-def test_fig16_duration_histogram(benchmark, kmeans_baseline):
+def test_fig16_duration_histogram(benchmark, kmeans_baseline, scale):
     __, trace = kmeans_baseline
     compute = TaskTypeFilter("kmeans_distance")
     edges, fractions = benchmark(task_duration_histogram, trace, 30,
@@ -39,7 +39,9 @@ def test_fig16_duration_histogram(benchmark, kmeans_baseline):
     assert count_peaks(fractions) >= 2
 
     # No relationship between duration and topology: every core runs
-    # both long and short tasks (Fig. 17's observation).
+    # both long and short tasks (Fig. 17's observation).  The property
+    # needs several tasks per core, so it is only asserted at
+    # realistic problem sizes.
     columns = trace.tasks.columns
     mask = compute.mask(trace)
     durations = (columns["end"] - columns["start"])[mask]
@@ -49,7 +51,9 @@ def test_fig16_duration_histogram(benchmark, kmeans_baseline):
         1 for core in np.unique(cores)
         if (durations[cores == core] > median).any()
         and (durations[cores == core] <= median).any())
-    assert cores_with_both > 0.8 * len(np.unique(cores))
+    assert cores_with_both > 0
+    if scale != "small":
+        assert cores_with_both > 0.8 * len(np.unique(cores))
 
     write_result("fig16_histogram", [
         "Fig. 16: duration histogram of k-means computation tasks",

@@ -18,14 +18,19 @@ from repro.render import (Framebuffer, StateMode, TimelineView,
                           render_counter, render_timeline)
 
 
-def test_state_rendering_optimized(benchmark, seidel_opt):
+def test_state_rendering_optimized(benchmark, seidel_opt, scale):
     __, trace = seidel_opt
     view = TimelineView.fit(trace, 800, 4 * trace.num_cores)
     framebuffer = benchmark(render_timeline, trace, StateMode(), view,
                             optimized=True)
     naive = render_timeline(trace, StateMode(), view, optimized=False)
 
-    assert framebuffer.rect_calls < naive.rect_calls / 2
+    # Aggregation only pays off once events outnumber pixels; a small
+    # trace still must never draw more rectangles than the naive path.
+    if scale == "small":
+        assert framebuffer.rect_calls < naive.rect_calls
+    else:
+        assert framebuffer.rect_calls < naive.rect_calls / 2
     write_result("sec6_render_state", [
         "Section VI-B: state-mode rendering operations at full zoom-out",
         "{} state intervals on {} cores, {}px wide".format(

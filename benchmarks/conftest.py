@@ -18,8 +18,26 @@ import pytest
 from repro import experiments
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--self-test", action="store_true", default=False,
+        help="Exercise every bench body quickly: pin the workload "
+             "scale to 'small' and disable benchmark timing.  This is "
+             "the CI smoke path that keeps benchmark code from "
+             "rotting.")
+
+
+def pytest_configure(config):
+    if config.getoption("--self-test"):
+        # Equivalent to --benchmark-disable: the benchmark fixture
+        # calls the target once without timing rounds.
+        config.option.benchmark_disable = True
+
+
 @pytest.fixture(scope="session")
-def scale():
+def scale(request):
+    if request.config.getoption("--self-test"):
+        return "small"
     return os.environ.get("REPRO_SCALE", "default")
 
 

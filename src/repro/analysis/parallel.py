@@ -36,7 +36,7 @@ from ..trace_format.chunked import (iter_chunk_records,
                                     read_chunk_index)
 from ..trace_format.streaming import (StreamingStatistics,
                                       TaskHistogramAccumulator,
-                                      stream_records)
+                                      fold_records, stream_records)
 
 #: Shards handed to each worker; >1 smooths out uneven chunk costs.
 SHARDS_PER_WORKER = 4
@@ -52,6 +52,10 @@ class CommMatrixAccumulator:
     :func:`repro.core.statistics.communication_matrix`).
     """
 
+    #: Only communication events are worth buffering (see
+    #: :func:`repro.trace_format.streaming.fold_records`).
+    batch_kinds = ("comm_event",)
+
     def __init__(self, num_cores):
         self.num_cores = num_cores
         self.matrix = np.zeros((num_cores, num_cores), dtype=np.int64)
@@ -65,6 +69,14 @@ class CommMatrixAccumulator:
         self.matrix[src, dst] += size
         self.events += 1
 
+    def consume_batch(self, kind, columns):
+        """Vectorized :meth:`consume`: scatter-add a whole batch."""
+        if kind != "comm_event" or not len(columns[0]):
+            return
+        src, dst, __, sizes, __tasks = columns
+        np.add.at(self.matrix, (src, dst), sizes)
+        self.events += len(src)
+
     def merge(self, other):
         """Add another accumulator's matrix and event count."""
         self.matrix += other.matrix
@@ -72,28 +84,30 @@ class CommMatrixAccumulator:
         return self
 
 
-def _scan_serial(path, factory):
+def _scan_serial(path, factory, columnar=False):
     """The fallback map-reduce: one accumulator, one full scan."""
-    accumulator = factory()
-    for kind, fields in stream_records(path):
-        accumulator.consume(kind, fields)
-    return accumulator
+    return fold_records(stream_records(path), factory(),
+                        columnar=columnar)
+
+
+def _shard_records(stream, spans):
+    """All records of one shard's chunks, in file order."""
+    for entry in spans:
+        for record in iter_chunk_records(stream, entry):
+            yield record
 
 
 def _scan_shard(job):
     """Worker body: fold one shard of chunks into a fresh accumulator.
 
-    ``job`` is ``(path, factory, spans)`` with ``spans`` the chunk
-    entries assigned to this worker.  Runs in a separate process, so it
-    re-opens the file itself.
+    ``job`` is ``(path, factory, spans, columnar)`` with ``spans`` the
+    chunk entries assigned to this worker.  Runs in a separate process,
+    so it re-opens the file itself.
     """
-    path, factory, spans = job
-    accumulator = factory()
+    path, factory, spans, columnar = job
     with open(path, "rb") as stream:
-        for entry in spans:
-            for kind, fields in iter_chunk_records(stream, entry):
-                accumulator.consume(kind, fields)
-    return accumulator
+        return fold_records(_shard_records(stream, spans), factory(),
+                            columnar=columnar)
 
 
 def _partition(entries, shards):
@@ -114,18 +128,22 @@ def resolve_workers(workers, num_chunks):
 
 
 def parallel_map_reduce(path, factory, workers=None,
-                        shards_per_worker=SHARDS_PER_WORKER):
+                        shards_per_worker=SHARDS_PER_WORKER,
+                        columnar=False):
     """Fold every record of ``path`` into an accumulator, in parallel.
 
     ``factory`` builds an empty accumulator (called once in the driver
     for the static preamble and once per shard in the workers).  The
     merged result equals a serial ``consume`` pass over the whole file:
     every record is consumed exactly once, and partials are merged in
-    file order.  Returns the final accumulator.
+    file order.  ``columnar=True`` makes every scan fold its records
+    through the accumulator's vectorized ``consume_batch`` path
+    (:func:`repro.trace_format.streaming.fold_records`) — identical
+    results, less per-record work.  Returns the final accumulator.
     """
     index = read_chunk_index(path)
     if index is None or index.num_chunks == 0:
-        return _scan_serial(path, factory)
+        return _scan_serial(path, factory, columnar=columnar)
     workers = resolve_workers(workers, index.num_chunks)
     base = factory()
     with open(path, "rb") as stream:
@@ -133,7 +151,7 @@ def parallel_map_reduce(path, factory, workers=None,
             base.consume(kind, fields)
     shards = _partition(list(index.entries),
                         workers * shards_per_worker)
-    jobs = [(path, factory, spans) for spans in shards]
+    jobs = [(path, factory, spans, columnar) for spans in shards]
     if workers == 1:
         partials = map(_scan_shard, jobs)
     else:
@@ -149,25 +167,27 @@ def parallel_map_reduce(path, factory, workers=None,
     return base
 
 
-def parallel_streaming_statistics(path, workers=None):
+def parallel_streaming_statistics(path, workers=None, columnar=False):
     """Sharded :func:`repro.trace_format.streaming.
     streaming_statistics`: same :class:`StreamingStatistics` result,
     computed by ``workers`` processes over the chunk index."""
     return parallel_map_reduce(path, StreamingStatistics,
-                               workers=workers)
+                               workers=workers, columnar=columnar)
 
 
-def parallel_task_histogram(path, bins, value_range, workers=None):
+def parallel_task_histogram(path, bins, value_range, workers=None,
+                            columnar=False):
     """Sharded task-duration histogram; returns ``(edges, counts)``
     identical to :func:`repro.trace_format.streaming.
     streaming_task_histogram`."""
     factory = functools.partial(TaskHistogramAccumulator, bins,
                                 value_range)
-    accumulator = parallel_map_reduce(path, factory, workers=workers)
+    accumulator = parallel_map_reduce(path, factory, workers=workers,
+                                      columnar=columnar)
     return accumulator.edges, accumulator.counts
 
 
-def parallel_comm_matrix(path, workers=None):
+def parallel_comm_matrix(path, workers=None, columnar=False):
     """Sharded core-to-core communication-byte matrix from the file's
     communication events."""
     topology = None
@@ -179,5 +199,6 @@ def parallel_comm_matrix(path, workers=None):
         raise ValueError("trace has no topology record")
     factory = functools.partial(CommMatrixAccumulator,
                                 topology.num_cores)
-    accumulator = parallel_map_reduce(path, factory, workers=workers)
+    accumulator = parallel_map_reduce(path, factory, workers=workers,
+                                      columnar=columnar)
     return accumulator.matrix

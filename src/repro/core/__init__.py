@@ -6,6 +6,7 @@ tables and annotations.
 """
 
 from .annotations import Annotation, AnnotationStore
+from .columnar import ColumnarBuilder, ColumnarTrace, LaneStack, traces_equal
 from .anomalies import (Anomaly, CounterCorrelation, correlate_counters,
                         detect_duration_outliers, detect_idle_phases,
                         detect_load_imbalance, detect_locality_anomalies,
@@ -52,7 +53,7 @@ from .selection import (DataEndpoint, TaskDetails, describe_selection,
 from .symbols import Symbol, SymbolTable, resolve_task, symbols_from_trace
 from .taskgraph import (TaskGraph, export_dot, graph_from_program,
                         reconstruct_task_graph, to_networkx)
-from .trace import Trace, TraceBuilder, merge_counter_series
+from .trace import RegionLookup, Trace, TraceBuilder, merge_counter_series
 
 __all__ = [
     "Annotation", "AnnotationStore", "Anomaly", "CounterCorrelation",
@@ -89,4 +90,6 @@ __all__ = [
     "resolve_task", "symbols_from_trace", "TaskGraph", "export_dot",
     "graph_from_program", "reconstruct_task_graph", "to_networkx",
     "Trace", "TraceBuilder", "merge_counter_series",
+    "ColumnarBuilder", "ColumnarTrace", "LaneStack", "traces_equal",
+    "RegionLookup",
 ]

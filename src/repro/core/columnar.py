@@ -1,0 +1,385 @@
+"""Columnar event store: one structured array per core per record kind.
+
+This is the literal data layout of Section VI-B-c — "one array per core
+and per type of event, sorted by timestamp" — realized as numpy
+structured arrays.  :class:`ColumnarTrace` holds, for every core, one
+contiguous array per record kind (state intervals, task executions,
+discrete events, communication events, memory accesses) plus one array
+per ``(core, counter)`` pair for counter samples.  Every lane is sorted
+by timestamp, so interval queries are two binary searches away and all
+statistics run as vectorized array passes.
+
+The store is convertible both ways from the object model:
+
+* :meth:`Trace.to_columnar` / :meth:`ColumnarTrace.from_trace` — wrap
+  an existing :class:`~repro.core.trace.Trace`;
+* :meth:`ColumnarTrace.to_objects` — rebuild the :class:`Trace`;
+* :class:`ColumnarBuilder` — fill the arrays directly while reading a
+  trace file (``read_trace(path, columnar=True)``), never
+  materializing per-event objects;
+* :func:`traces_equal` — order-insensitive equality between any two
+  stores, the oracle of the round-trip property tests.
+
+Compatibility: :class:`ColumnarTrace` exposes the same duck-typed
+surface the analysis layer uses on :class:`Trace` (``.states.columns``,
+``core_column``, ``.comm``, ``.accesses``, ``.counter_series``,
+``nodes_of_addresses``, the dataclass iterators), so every entry point
+in :mod:`repro.core.statistics`, :mod:`repro.core.metrics`,
+:mod:`repro.core.filters`, :mod:`repro.core.index` and
+:mod:`repro.render.timeline` accepts either store unchanged — the
+parity tests in ``tests/test_columnar_parity.py`` pin that down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .trace import EventViewMixin, RegionLookup, Trace, TraceBuilder
+
+#: One record per worker-state interval of one core.
+STATE_DTYPE = np.dtype([("state", np.int64), ("start", np.int64),
+                        ("end", np.int64)])
+#: One record per task execution of one core.
+TASK_DTYPE = np.dtype([("task_id", np.int64), ("type_id", np.int64),
+                       ("start", np.int64), ("end", np.int64)])
+#: One record per discrete (point) event of one core.
+DISCRETE_DTYPE = np.dtype([("kind", np.int64), ("timestamp", np.int64),
+                           ("payload", np.int64)])
+#: One record per communication event originating at one core.
+COMM_DTYPE = np.dtype([("dst_core", np.int64), ("timestamp", np.int64),
+                       ("size", np.int64), ("task_id", np.int64)])
+#: One record per memory access performed on one core.
+ACCESS_DTYPE = np.dtype([("task_id", np.int64), ("address", np.int64),
+                         ("size", np.int64), ("is_write", np.int64),
+                         ("timestamp", np.int64)])
+#: One record per sample of one counter on one core.
+COUNTER_DTYPE = np.dtype([("timestamp", np.int64),
+                          ("value", np.float64)])
+
+
+class LaneStack:
+    """One sorted structured array per core for one record kind.
+
+    ``lane(core)`` is the per-core array itself (zero-copy field
+    access); ``columns`` / ``core_column`` / ``core_slice`` present the
+    same view :class:`~repro.core.trace.PerCoreEvents` offers, so the
+    vectorized analyses run on either store.  The synthesized
+    ``core_name`` column (the lane index) exists only in these views —
+    the lanes themselves never store it.
+    """
+
+    def __init__(self, lanes, column_order, core_name="core"):
+        self.lanes = list(lanes)
+        self.column_order = tuple(column_order)
+        self.core_name = core_name
+        lengths = np.asarray([len(lane) for lane in self.lanes],
+                             dtype=np.int64)
+        self.offsets = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(lengths)))
+        self._columns = None
+
+    def __len__(self):
+        return int(self.offsets[-1])
+
+    def lane(self, core):
+        """The structured event array of one core."""
+        return self.lanes[core]
+
+    def core_slice(self, core):
+        return slice(int(self.offsets[core]), int(self.offsets[core + 1]))
+
+    def core_column(self, core, name):
+        if name == self.core_name:
+            return np.full(len(self.lanes[core]), core, dtype=np.int64)
+        return self.lanes[core][name]
+
+    @property
+    def columns(self):
+        """Concatenated (core-major, per-core sorted) column dict —
+        exactly the layout :class:`Trace` keeps.  Built lazily."""
+        if self._columns is None:
+            lengths = [len(lane) for lane in self.lanes]
+            columns = {}
+            for name in self.column_order:
+                if name == self.core_name:
+                    columns[name] = np.repeat(
+                        np.arange(len(self.lanes), dtype=np.int64),
+                        lengths)
+                elif self.lanes:
+                    columns[name] = np.concatenate(
+                        [np.ascontiguousarray(lane[name])
+                         for lane in self.lanes])
+                else:
+                    columns[name] = np.empty(0, dtype=np.int64)
+            self._columns = columns
+        return self._columns
+
+
+def _lane_from_columns(columns, selection, dtype):
+    """A structured array from a slice/index of parallel columns."""
+    reference = columns[dtype.names[0]][selection]
+    lane = np.empty(len(reference), dtype=dtype)
+    lane[dtype.names[0]] = reference
+    for name in dtype.names[1:]:
+        lane[name] = columns[name][selection]
+    return lane
+
+
+def _split_by_core(columns, core_key, sort_key, num_cores, dtype):
+    """Per-core sorted lanes from flat columns (stable in ties)."""
+    order = np.lexsort((columns[sort_key], columns[core_key]))
+    ordered = {name: values[order] for name, values in columns.items()}
+    offsets = np.searchsorted(ordered[core_key],
+                              np.arange(num_cores + 1))
+    return [_lane_from_columns(
+                ordered, slice(int(offsets[core]), int(offsets[core + 1])),
+                dtype)
+            for core in range(num_cores)]
+
+
+class ColumnarTrace(EventViewMixin):
+    """An immutable trace stored as per-core sorted structured arrays.
+
+    The object-model views (dataclass iterators, ``task_by_id``,
+    region lookups, ``counter_samples``) come from the shared
+    :class:`~repro.core.trace.EventViewMixin`."""
+
+    def __init__(self, topology, states, tasks, discrete, comm, accesses,
+                 counter_lanes, counter_descriptions, task_types, regions):
+        self.topology = topology
+        self.states = LaneStack(states, ("core", "state", "start", "end"))
+        self.tasks = LaneStack(tasks, ("task_id", "type_id", "core",
+                                       "start", "end"))
+        self.discrete = LaneStack(discrete, ("core", "kind", "timestamp",
+                                             "payload"))
+        self.comm_lanes = LaneStack(comm, ("src_core", "dst_core",
+                                           "timestamp", "size", "task_id"),
+                                    core_name="src_core")
+        self.access_lanes = LaneStack(accesses, ("task_id", "core",
+                                                 "address", "size",
+                                                 "is_write", "timestamp"))
+        self.counter_lanes = dict(counter_lanes)
+        self.counter_descriptions = list(counter_descriptions)
+        self.task_types = list(task_types)
+        self._region_lookup = RegionLookup(regions)
+        self.regions = self._region_lookup.regions
+        self._comm = None
+        self._accesses = None
+        self._counter_series = None
+        self.begin, self.end = self._time_bounds()
+
+    # -- global properties --------------------------------------------
+    @property
+    def num_cores(self):
+        return self.topology.num_cores
+
+    @property
+    def duration(self):
+        return self.end - self.begin
+
+    def _time_bounds(self):
+        begin, end = [], []
+        for stack in (self.states, self.tasks):
+            for lane in stack.lanes:
+                if len(lane):
+                    begin.append(int(lane["start"][0]))
+                    end.append(int(lane["end"].max()))
+        for lane in self.counter_lanes.values():
+            if len(lane):
+                begin.append(int(lane["timestamp"][0]))
+                end.append(int(lane["timestamp"][-1]))
+        if not begin:
+            return 0, 0
+        return min(begin), max(end)
+
+    # -- Trace-compatible global views --------------------------------
+    @property
+    def comm(self):
+        """Communication events as one global, time-sorted column dict
+        (the layout of :attr:`Trace.comm`)."""
+        if self._comm is None:
+            columns = self.comm_lanes.columns
+            order = np.argsort(columns["timestamp"], kind="stable")
+            self._comm = {name: columns[name][order]
+                          for name in self.comm_lanes.column_order}
+        return self._comm
+
+    @property
+    def accesses(self):
+        """Memory accesses as one task-sorted column dict (the layout
+        of :attr:`Trace.accesses`)."""
+        if self._accesses is None:
+            columns = self.access_lanes.columns
+            order = np.argsort(columns["task_id"], kind="stable")
+            self._accesses = {name: columns[name][order]
+                              for name in self.access_lanes.column_order}
+        return self._accesses
+
+    # -- counters -------------------------------------------------------
+    @property
+    def counter_series(self):
+        if self._counter_series is None:
+            self._counter_series = {
+                key: (lane["timestamp"], lane["value"])
+                for key, lane in self.counter_lanes.items()}
+        return self._counter_series
+
+    def counter_lane(self, core, counter_id):
+        """The structured sample array of one counter on one core."""
+        empty = np.empty(0, dtype=COUNTER_DTYPE)
+        return self.counter_lanes.get((core, counter_id), empty)
+
+    def __repr__(self):
+        return ("ColumnarTrace(cores={}, states={}, tasks={}, "
+                "accesses={}, counters={})".format(
+                    self.num_cores, len(self.states), len(self.tasks),
+                    len(self.access_lanes),
+                    len(self.counter_descriptions)))
+
+    # -- conversions ------------------------------------------------------
+    @classmethod
+    def from_trace(cls, trace):
+        """Re-layout a :class:`Trace` into per-core structured arrays."""
+        num_cores = trace.num_cores
+        states = [_lane_from_columns(trace.states.columns,
+                                     trace.states.core_slice(core),
+                                     STATE_DTYPE)
+                  for core in range(num_cores)]
+        tasks = [_lane_from_columns(trace.tasks.columns,
+                                    trace.tasks.core_slice(core),
+                                    TASK_DTYPE)
+                 for core in range(num_cores)]
+        discrete = [_lane_from_columns(trace.discrete.columns,
+                                       trace.discrete.core_slice(core),
+                                       DISCRETE_DTYPE)
+                    for core in range(num_cores)]
+        comm = _split_by_core(trace.comm, "src_core", "timestamp",
+                              num_cores, COMM_DTYPE)
+        accesses = _split_by_core(trace.accesses, "core", "timestamp",
+                                  num_cores, ACCESS_DTYPE)
+        counter_lanes = {}
+        for key, (timestamps, values) in trace.counter_series.items():
+            lane = np.empty(len(timestamps), dtype=COUNTER_DTYPE)
+            lane["timestamp"] = timestamps
+            lane["value"] = values
+            counter_lanes[key] = lane
+        return cls(topology=trace.topology, states=states, tasks=tasks,
+                   discrete=discrete, comm=comm, accesses=accesses,
+                   counter_lanes=counter_lanes,
+                   counter_descriptions=trace.counter_descriptions,
+                   task_types=trace.task_types, regions=trace.regions)
+
+    def to_objects(self):
+        """Rebuild the object-model :class:`Trace` (lossless)."""
+        counter_series = {key: (lane["timestamp"].copy(),
+                                lane["value"].copy())
+                          for key, lane in self.counter_lanes.items()}
+        return Trace(topology=self.topology,
+                     states=dict(self.states.columns),
+                     tasks=dict(self.tasks.columns),
+                     discrete=dict(self.discrete.columns),
+                     comm=dict(self.comm),
+                     accesses=dict(self.accesses),
+                     counter_series=counter_series,
+                     counter_descriptions=list(self.counter_descriptions),
+                     task_types=list(self.task_types),
+                     regions=list(self.regions))
+
+
+class ColumnarBuilder(TraceBuilder):
+    """Append-only accumulator that assembles a :class:`ColumnarTrace`.
+
+    Inherits every record method from
+    :class:`~repro.core.trace.TraceBuilder` — the two builders cannot
+    drift apart — with one difference: the topology may arrive at any
+    time before :meth:`build` (trace files allow static records
+    anywhere), via the constructor or :meth:`set_topology`.
+    """
+
+    def __init__(self, topology=None):
+        super().__init__(topology)
+
+    def set_topology(self, topology):
+        self.topology = topology
+
+    def build(self):
+        if self.topology is None:
+            raise ValueError("cannot build a trace without a topology")
+        num_cores = self.topology.num_cores
+        counter_lanes = {}
+        for key, times in self._counter_times.items():
+            timestamps = np.asarray(times, dtype=np.int64)
+            values = np.asarray(self._counter_values[key],
+                                dtype=np.float64)
+            order = np.argsort(timestamps, kind="stable")
+            lane = np.empty(len(timestamps), dtype=COUNTER_DTYPE)
+            lane["timestamp"] = timestamps[order]
+            lane["value"] = values[order]
+            counter_lanes[key] = lane
+        return ColumnarTrace(
+            topology=self.topology,
+            states=_split_by_core(self._states.to_numpy(), "core",
+                                  "start", num_cores, STATE_DTYPE),
+            tasks=_split_by_core(self._tasks.to_numpy(), "core", "start",
+                                 num_cores, TASK_DTYPE),
+            discrete=_split_by_core(self._discrete.to_numpy(), "core",
+                                    "timestamp", num_cores,
+                                    DISCRETE_DTYPE),
+            comm=_split_by_core(self._comm.to_numpy(), "src_core",
+                                "timestamp", num_cores, COMM_DTYPE),
+            accesses=_split_by_core(self._accesses.to_numpy(), "core",
+                                    "timestamp", num_cores, ACCESS_DTYPE),
+            counter_lanes=counter_lanes,
+            counter_descriptions=list(self.counter_descriptions),
+            task_types=list(self.task_types),
+            regions=list(self.regions))
+
+
+def _canonical_columns(columns):
+    """Columns reordered into a canonical total order (name-sorted
+    lexsort), so equality ignores permitted tie reorderings."""
+    names = sorted(columns)
+    if not names or len(columns[names[0]]) == 0:
+        return {name: columns[name] for name in names}
+    order = np.lexsort(tuple(columns[name] for name in names))
+    return {name: columns[name][order] for name in names}
+
+
+def _columns_equal(left, right):
+    if sorted(left) != sorted(right):
+        return False
+    left = _canonical_columns(left)
+    right = _canonical_columns(right)
+    return all(np.array_equal(left[name], right[name]) for name in left)
+
+
+def traces_equal(left, right):
+    """Whether two trace stores hold exactly the same records.
+
+    Accepts any mix of :class:`Trace` and :class:`ColumnarTrace`.
+    Event comparison is order-insensitive within the orderings both
+    stores are free to choose (ties in the per-core / per-key sorts);
+    values must match exactly, including counter-sample floats.
+    """
+    if left.topology != right.topology:
+        return False
+    if (list(left.counter_descriptions) != list(right.counter_descriptions)
+            or list(left.task_types) != list(right.task_types)
+            or list(left.regions) != list(right.regions)):
+        return False
+    for kind in ("states", "tasks", "discrete"):
+        if not _columns_equal(getattr(left, kind).columns,
+                              getattr(right, kind).columns):
+            return False
+    if not _columns_equal(left.comm, right.comm):
+        return False
+    if not _columns_equal(left.accesses, right.accesses):
+        return False
+    if set(left.counter_series) != set(right.counter_series):
+        return False
+    for key, (timestamps, values) in left.counter_series.items():
+        other_times, other_values = right.counter_series[key]
+        if not _columns_equal({"t": timestamps, "v": values},
+                              {"t": other_times, "v": other_values}):
+            return False
+    return True

@@ -38,23 +38,41 @@ def interval_edges(trace, num_intervals, start=None, end=None):
     return np.linspace(start, end, num_intervals + 1)
 
 
-def _overlap_per_bin(starts, ends, edges, weights=None):
-    """Sum of interval overlap (optionally weighted) falling in each bin."""
+def overlap_per_bin(starts, ends, edges, weights=None):
+    """Sum of interval overlap (optionally weighted) falling in each bin.
+
+    Vectorized: each interval decomposes into a partial first bin, a
+    partial last bin and a run of fully covered interior bins.  The
+    partials are scatter-added; the interior runs accumulate through a
+    difference array whose cumulative sum yields, per bin, the total
+    weight of the intervals covering it entirely — O(events + bins)
+    instead of O(events x bins-spanned).
+    """
     num_bins = len(edges) - 1
     totals = np.zeros(num_bins, dtype=np.float64)
     if len(starts) == 0:
         return totals
+    starts = np.asarray(starts, dtype=np.float64)
+    ends = np.asarray(ends, dtype=np.float64)
+    weights = (np.ones(len(starts), dtype=np.float64) if weights is None
+               else np.asarray(weights, dtype=np.float64))
     first = np.clip(np.searchsorted(edges, starts, side="right") - 1,
                     0, num_bins - 1)
     last = np.clip(np.searchsorted(edges, ends, side="left") - 1,
                    0, num_bins - 1)
-    for index in range(len(starts)):
-        weight = 1.0 if weights is None else weights[index]
-        for bin_index in range(first[index], last[index] + 1):
-            lo = max(starts[index], edges[bin_index])
-            hi = min(ends[index], edges[bin_index + 1])
-            if hi > lo:
-                totals[bin_index] += (hi - lo) * weight
+    head = (np.minimum(ends, edges[first + 1])
+            - np.maximum(starts, edges[first]))
+    np.add.at(totals, first, np.clip(head, 0.0, None) * weights)
+    multi = last > first
+    if multi.any():
+        tail = (np.minimum(ends[multi], edges[last[multi] + 1])
+                - edges[last[multi]])
+        np.add.at(totals, last[multi],
+                  np.clip(tail, 0.0, None) * weights[multi])
+        covering = np.zeros(num_bins + 1, dtype=np.float64)
+        np.add.at(covering, first[multi] + 1, weights[multi])
+        np.add.at(covering, last[multi], -weights[multi])
+        totals += np.cumsum(covering[:num_bins]) * np.diff(edges)
     return totals
 
 
@@ -68,7 +86,7 @@ def state_count_series(trace, state, num_intervals=200, cores=None,
     for core in cores:
         states = trace.states.core_column(core, "state")
         keep = states == int(state)
-        totals += _overlap_per_bin(
+        totals += overlap_per_bin(
             trace.states.core_column(core, "start")[keep],
             trace.states.core_column(core, "end")[keep], edges)
     return edges, totals / widths
@@ -89,8 +107,8 @@ def average_task_duration_series(trace, num_intervals=200, task_filter=None,
     starts = columns["start"]
     ends = columns["end"]
     durations = (ends - starts).astype(np.float64)
-    weighted = _overlap_per_bin(starts, ends, edges, weights=durations)
-    coverage = _overlap_per_bin(starts, ends, edges)
+    weighted = overlap_per_bin(starts, ends, edges, weights=durations)
+    coverage = overlap_per_bin(starts, ends, edges)
     averages = np.divide(weighted, coverage,
                          out=np.zeros_like(weighted), where=coverage > 0)
     return edges, averages

@@ -24,9 +24,101 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .events import (CounterDescription, DiscreteEvent, RegionInfo,
-                     StateInterval, TaskExecution, TaskTypeInfo,
-                     TopologyInfo)
+from .events import (CommEvent, CounterDescription, DiscreteEvent,
+                     MemoryAccess, RegionInfo, StateInterval,
+                     TaskExecution, TaskTypeInfo, TopologyInfo)
+
+
+class RegionLookup:
+    """Address -> region / NUMA-node lookup over the placement table.
+
+    The trace file stores placement once per region (Section VI-A);
+    this index answers "which node holds this address" for single
+    addresses and, vectorized, for whole access columns.  Shared by
+    both trace stores (:class:`Trace` and
+    :class:`repro.core.columnar.ColumnarTrace`).
+    """
+
+    def __init__(self, regions):
+        self.regions = sorted(regions, key=lambda region: region.address)
+        self._starts = np.asarray(
+            [region.address for region in self.regions], dtype=np.int64)
+        self._built = False
+
+    def _build(self):
+        page_offsets = [0]
+        pages = []
+        for region in self.regions:
+            pages.extend(region.page_nodes)
+            page_offsets.append(len(pages))
+        self._page_nodes_flat = np.asarray(pages, dtype=np.int64)
+        self._page_offsets = np.asarray(page_offsets, dtype=np.int64)
+        self._page_counts = np.asarray(
+            [len(region.page_nodes) for region in self.regions],
+            dtype=np.int64)
+        self._ends = np.asarray(
+            [region.end for region in self.regions], dtype=np.int64)
+        self._built = True
+
+    def region_of(self, address):
+        """The :class:`RegionInfo` containing ``address`` or ``None``."""
+        if not self.regions:
+            return None
+        position = int(np.searchsorted(self._starts, address,
+                                       side="right")) - 1
+        if position < 0:
+            return None
+        region = self.regions[position]
+        if region.address <= address < region.end:
+            return region
+        return None
+
+    def node_of_address(self, address):
+        """NUMA node holding ``address``, or ``None`` outside regions.
+
+        Pages past the end of a region's placement table count as never
+        physically allocated, like explicit ``-1`` entries.
+        """
+        region = self.region_of(address)
+        if region is None:
+            return None
+        page = (address - region.address) // 4096
+        if page >= len(region.page_nodes):
+            return None
+        node = region.page_nodes[page]
+        return None if node < 0 else node
+
+    def nodes_of_addresses(self, addresses):
+        """Vectorized :meth:`node_of_address`: NUMA node per address.
+
+        Returns an int array; addresses outside any region (or on pages
+        that were never physically allocated) map to -1.  The flattened
+        page-placement index is built on first use and cached.
+        """
+        if not self._built:
+            self._build()
+        addresses = np.asarray(addresses, dtype=np.int64)
+        result = np.full(len(addresses), -1, dtype=np.int64)
+        if not self.regions or len(addresses) == 0:
+            return result
+        position = np.searchsorted(self._starts, addresses,
+                                   side="right") - 1
+        valid = position >= 0
+        clipped = np.clip(position, 0, None)
+        valid &= addresses < self._ends[clipped]
+        if not valid.any():
+            return result
+        region_index = clipped[valid]
+        page = (addresses[valid]
+                - self._starts[region_index]) // 4096
+        # Pages past a region's placement table were never physically
+        # allocated — same as explicit -1 entries.
+        placed = page < self._page_counts[region_index]
+        nodes = np.full(len(region_index), -1, dtype=np.int64)
+        nodes[placed] = self._page_nodes_flat[
+            self._page_offsets[region_index[placed]] + page[placed]]
+        result[valid] = nodes
+        return result
 
 
 class _Columns:
@@ -129,77 +221,17 @@ class TraceBuilder:
                      regions=list(self.regions))
 
 
-class PerCoreEvents:
-    """Per-core views of a sorted columnar event table."""
+class EventViewMixin:
+    """Object-model views shared by the two trace stores.
 
-    def __init__(self, columns, core_column, sort_key, num_cores):
-        order = np.lexsort((columns[sort_key], columns[core_column]))
-        self.columns = {name: values[order]
-                        for name, values in columns.items()}
-        cores = self.columns[core_column]
-        # offsets[c]:offsets[c+1] is the slice of events of core c.
-        self.offsets = np.searchsorted(cores, np.arange(num_cores + 1))
-        self._sort_key = sort_key
-
-    def __len__(self):
-        return len(self.columns[self._sort_key])
-
-    def core_slice(self, core):
-        return slice(int(self.offsets[core]), int(self.offsets[core + 1]))
-
-    def core_column(self, core, name):
-        return self.columns[name][self.core_slice(core)]
-
-
-class Trace:
-    """An immutable, indexed trace ready for analysis and rendering."""
-
-    def __init__(self, topology, states, tasks, discrete, comm, accesses,
-                 counter_series, counter_descriptions, task_types, regions):
-        self.topology = topology
-        num_cores = topology.num_cores
-        self.states = PerCoreEvents(states, "core", "start", num_cores)
-        self.tasks = PerCoreEvents(tasks, "core", "start", num_cores)
-        self.discrete = PerCoreEvents(discrete, "core", "timestamp",
-                                      num_cores)
-        order = np.argsort(comm["timestamp"], kind="stable")
-        self.comm = {name: values[order] for name, values in comm.items()}
-        order = np.argsort(accesses["task_id"], kind="stable")
-        self.accesses = {name: values[order]
-                         for name, values in accesses.items()}
-        self.counter_series = counter_series
-        self.counter_descriptions = list(counter_descriptions)
-        self.task_types = list(task_types)
-        self.regions = sorted(regions, key=lambda region: region.address)
-        self._region_starts = np.asarray(
-            [region.address for region in self.regions], dtype=np.int64)
-        self._task_index = self._build_task_index()
-        self.begin, self.end = self._time_bounds()
-
-    # -- global properties --------------------------------------------
-    @property
-    def num_cores(self):
-        return self.topology.num_cores
-
-    @property
-    def duration(self):
-        return self.end - self.begin
-
-    def _time_bounds(self):
-        begin, end = [], []
-        if len(self.states):
-            begin.append(int(self.states.columns["start"].min()))
-            end.append(int(self.states.columns["end"].max()))
-        if len(self.tasks):
-            begin.append(int(self.tasks.columns["start"].min()))
-            end.append(int(self.tasks.columns["end"].max()))
-        for timestamps, __ in self.counter_series.values():
-            if len(timestamps):
-                begin.append(int(timestamps[0]))
-                end.append(int(timestamps[-1]))
-        if not begin:
-            return 0, 0
-        return min(begin), max(end)
+    Everything here is written against the duck-typed columnar surface
+    both stores provide — ``.states`` / ``.tasks`` / ``.discrete`` with
+    ``.columns``, the ``.comm`` / ``.accesses`` column dicts,
+    ``.counter_series``, ``.counter_descriptions`` and
+    ``._region_lookup`` — so :class:`Trace` and
+    :class:`repro.core.columnar.ColumnarTrace` share one
+    implementation and cannot drift apart.
+    """
 
     # -- counters -------------------------------------------------------
     def counter_id(self, name):
@@ -213,20 +245,21 @@ class Trace:
 
     def counter_samples(self, core, counter_id):
         """(timestamps, values) arrays for one counter on one core."""
-        empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+        empty = (np.empty(0, dtype=np.int64),
+                 np.empty(0, dtype=np.float64))
         return self.counter_series.get((core, counter_id), empty)
 
-    # -- task executions --------------------------------------------------
-    def _build_task_index(self):
-        ids = self.tasks.columns["task_id"]
-        index = {}
-        for position, task_id in enumerate(ids):
-            index[int(task_id)] = position
-        return index
-
+    # -- per-event dataclass views ------------------------------------
     def task_by_id(self, task_id):
-        """The :class:`TaskExecution` for a task id (raises ``KeyError``)."""
-        position = self._task_index[task_id]
+        """The :class:`TaskExecution` for a task id (raises
+        ``KeyError``).  The id -> row index is built on first use."""
+        index = getattr(self, "_task_index", None)
+        if index is None:
+            ids = self.tasks.columns["task_id"]
+            index = self._task_index = {
+                int(value): position
+                for position, value in enumerate(ids)}
+        position = index[task_id]
         columns = self.tasks.columns
         return TaskExecution(task_id=int(columns["task_id"][position]),
                              type_id=int(columns["type_id"][position]),
@@ -261,6 +294,26 @@ class Trace:
                                     columns["timestamp"][position]),
                                 payload=int(columns["payload"][position]))
 
+    def comm_events(self):
+        columns = self.comm
+        for position in range(len(columns["timestamp"])):
+            yield CommEvent(src_core=int(columns["src_core"][position]),
+                            dst_core=int(columns["dst_core"][position]),
+                            timestamp=int(columns["timestamp"][position]),
+                            size=int(columns["size"][position]),
+                            task_id=int(columns["task_id"][position]))
+
+    def memory_accesses(self):
+        columns = self.accesses
+        for position in range(len(columns["task_id"])):
+            yield MemoryAccess(
+                task_id=int(columns["task_id"][position]),
+                core=int(columns["core"][position]),
+                address=int(columns["address"][position]),
+                size=int(columns["size"][position]),
+                is_write=bool(columns["is_write"][position]),
+                timestamp=int(columns["timestamp"][position]))
+
     # -- task accesses ----------------------------------------------------
     def task_accesses(self, task_id):
         """Column slices of the memory accesses of one task."""
@@ -273,64 +326,98 @@ class Trace:
     # -- memory regions -----------------------------------------------
     def region_of(self, address):
         """The :class:`RegionInfo` containing ``address`` or ``None``."""
-        if not self.regions:
-            return None
-        position = int(np.searchsorted(self._region_starts, address,
-                                       side="right")) - 1
-        if position < 0:
-            return None
-        region = self.regions[position]
-        if region.address <= address < region.end:
-            return region
-        return None
+        return self._region_lookup.region_of(address)
 
     def node_of_address(self, address):
-        """NUMA node holding ``address`` (via the region placement table),
-        or ``None`` for addresses outside any known region."""
-        region = self.region_of(address)
-        if region is None:
-            return None
-        page = (address - region.address) // 4096
-        node = region.page_nodes[page]
-        return None if node < 0 else node
+        """NUMA node holding ``address`` (via the region placement
+        table), or ``None`` for addresses outside any known region."""
+        return self._region_lookup.node_of_address(address)
 
     def nodes_of_addresses(self, addresses):
-        """Vectorized :meth:`node_of_address`: NUMA node per address.
+        """Vectorized :meth:`node_of_address` (see
+        :meth:`RegionLookup.nodes_of_addresses`)."""
+        return self._region_lookup.nodes_of_addresses(addresses)
 
-        Returns an int array; addresses outside any region (or on pages
-        that were never physically allocated) map to -1.  The flattened
-        page-placement index is built on first use and cached — the
-        trace file stores placement once per region (Section VI-A) and
-        the lookup structure is part of the in-memory representation.
-        """
-        if not hasattr(self, "_page_index"):
-            page_offsets = [0]
-            pages = []
-            for region in self.regions:
-                pages.extend(region.page_nodes)
-                page_offsets.append(len(pages))
-            self._page_nodes_flat = np.asarray(pages, dtype=np.int64)
-            self._page_offsets = np.asarray(page_offsets, dtype=np.int64)
-            self._region_ends = np.asarray(
-                [region.end for region in self.regions], dtype=np.int64)
-            self._page_index = True
-        addresses = np.asarray(addresses, dtype=np.int64)
-        result = np.full(len(addresses), -1, dtype=np.int64)
-        if not self.regions or len(addresses) == 0:
-            return result
-        position = np.searchsorted(self._region_starts, addresses,
-                                   side="right") - 1
-        valid = position >= 0
-        clipped = np.clip(position, 0, None)
-        valid &= addresses < self._region_ends[clipped]
-        if not valid.any():
-            return result
-        region_index = clipped[valid]
-        page = (addresses[valid]
-                - self._region_starts[region_index]) // 4096
-        result[valid] = self._page_nodes_flat[
-            self._page_offsets[region_index] + page]
-        return result
+    # -- columnar store ---------------------------------------------------
+    def to_columnar(self):
+        """The per-core structured-array form of this trace (see
+        :mod:`repro.core.columnar`); a no-copy ``self`` when already
+        columnar."""
+        from .columnar import ColumnarTrace
+        if isinstance(self, ColumnarTrace):
+            return self
+        return ColumnarTrace.from_trace(self)
+
+
+class PerCoreEvents:
+    """Per-core views of a sorted columnar event table."""
+
+    def __init__(self, columns, core_column, sort_key, num_cores):
+        order = np.lexsort((columns[sort_key], columns[core_column]))
+        self.columns = {name: values[order]
+                        for name, values in columns.items()}
+        cores = self.columns[core_column]
+        # offsets[c]:offsets[c+1] is the slice of events of core c.
+        self.offsets = np.searchsorted(cores, np.arange(num_cores + 1))
+        self._sort_key = sort_key
+
+    def __len__(self):
+        return len(self.columns[self._sort_key])
+
+    def core_slice(self, core):
+        return slice(int(self.offsets[core]), int(self.offsets[core + 1]))
+
+    def core_column(self, core, name):
+        return self.columns[name][self.core_slice(core)]
+
+
+class Trace(EventViewMixin):
+    """An immutable, indexed trace ready for analysis and rendering."""
+
+    def __init__(self, topology, states, tasks, discrete, comm, accesses,
+                 counter_series, counter_descriptions, task_types, regions):
+        self.topology = topology
+        num_cores = topology.num_cores
+        self.states = PerCoreEvents(states, "core", "start", num_cores)
+        self.tasks = PerCoreEvents(tasks, "core", "start", num_cores)
+        self.discrete = PerCoreEvents(discrete, "core", "timestamp",
+                                      num_cores)
+        order = np.argsort(comm["timestamp"], kind="stable")
+        self.comm = {name: values[order] for name, values in comm.items()}
+        order = np.argsort(accesses["task_id"], kind="stable")
+        self.accesses = {name: values[order]
+                         for name, values in accesses.items()}
+        self.counter_series = counter_series
+        self.counter_descriptions = list(counter_descriptions)
+        self.task_types = list(task_types)
+        self._region_lookup = RegionLookup(regions)
+        self.regions = self._region_lookup.regions
+        self.begin, self.end = self._time_bounds()
+
+    # -- global properties --------------------------------------------
+    @property
+    def num_cores(self):
+        return self.topology.num_cores
+
+    @property
+    def duration(self):
+        return self.end - self.begin
+
+    def _time_bounds(self):
+        begin, end = [], []
+        if len(self.states):
+            begin.append(int(self.states.columns["start"].min()))
+            end.append(int(self.states.columns["end"].max()))
+        if len(self.tasks):
+            begin.append(int(self.tasks.columns["start"].min()))
+            end.append(int(self.tasks.columns["end"].max()))
+        for timestamps, __ in self.counter_series.values():
+            if len(timestamps):
+                begin.append(int(timestamps[0]))
+                end.append(int(timestamps[-1]))
+        if not begin:
+            return 0, 0
+        return min(begin), max(end)
 
     def __repr__(self):
         return ("Trace(cores={}, states={}, tasks={}, accesses={}, "

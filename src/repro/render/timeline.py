@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core import numa as numa_analysis
 from ..core.index import interval_slice
+from ..core.metrics import overlap_per_bin
 from . import colors as palettes
 from .framebuffer import Framebuffer
 
@@ -247,18 +248,81 @@ class NumaHeatmapMode(_TaskMode):
         return palettes.numa_heat_color(value)
 
 
+def _pixel_edges(view):
+    """The time stamps t0(x) of every pixel column, plus ``view.end``.
+
+    Valid as bin edges only when ``duration >= width`` — otherwise
+    :meth:`TimelineView.pixel_interval` widens zero-cycle pixels to one
+    cycle and adjacent pixel intervals overlap.
+    """
+    x = np.arange(view.width + 1, dtype=np.int64)
+    return view.start + view.duration * x // view.width
+
+
+def _pixel_spans(starts, ends, edges):
+    """First/last pixel column touched by each (clipped) event."""
+    width = len(edges) - 1
+    first = np.clip(np.searchsorted(edges, starts, side="right") - 1,
+                    0, width - 1)
+    last = np.clip(np.searchsorted(edges, ends, side="left") - 1,
+                   0, width - 1)
+    return first, last
+
+
 def _predominant_keys(starts, ends, keys, view):
     """Predominant key per pixel column (-1 where nothing is visible).
 
-    Two-pointer walk over the (sorted, non-overlapping) events and the
-    pixel grid: each event's overlap with the current pixel interval is
-    accumulated per key, and the key with the largest coverage wins the
-    pixel — Section VI-B's "every pixel is drawn only once".
+    Per-key pixel coverage is accumulated vectorized — partial first
+    and last pixels by scatter-add, fully covered interior pixels by a
+    per-key difference array — and the key with the largest coverage
+    wins the pixel: Section VI-B's "every pixel is drawn only once".
+    Views zoomed below one cycle per pixel (overlapping pixel
+    intervals) fall back to the scalar two-pointer walk.
     """
     result = np.full(view.width, -1, dtype=np.int64)
-    count = len(starts)
-    if count == 0:
+    if len(starts) == 0:
         return result
+    if view.duration < view.width:
+        return _predominant_keys_walk(starts, ends, keys, view)
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    keys = np.asarray(keys, dtype=np.int64)
+    visible = (ends > view.start) & (starts < view.end) & (keys >= 0)
+    if not visible.any():
+        return result
+    starts = np.clip(starts[visible], view.start, view.end)
+    ends = np.clip(ends[visible], view.start, view.end)
+    uniq, inverse = np.unique(keys[visible], return_inverse=True)
+    width = view.width
+    edges = _pixel_edges(view)
+    first, last = _pixel_spans(starts, ends, edges)
+    coverage = np.zeros((width, len(uniq)), dtype=np.int64)
+    head = (np.minimum(ends, edges[first + 1])
+            - np.maximum(starts, edges[first]))
+    np.add.at(coverage, (first, inverse), np.clip(head, 0, None))
+    multi = last > first
+    if multi.any():
+        tail = (np.minimum(ends[multi], edges[last[multi] + 1])
+                - edges[last[multi]])
+        np.add.at(coverage, (last[multi], inverse[multi]),
+                  np.clip(tail, 0, None))
+        covering = np.zeros((width + 1, len(uniq)), dtype=np.int64)
+        np.add.at(covering, (first[multi] + 1, inverse[multi]), 1)
+        np.add.at(covering, (last[multi], inverse[multi]), -1)
+        coverage += (np.cumsum(covering[:width], axis=0)
+                     * np.diff(edges)[:, None])
+    # argmax picks the first (smallest) key on coverage ties, matching
+    # the walk's max(coverage, key=(coverage, -key)) tie-break.
+    best = np.argmax(coverage, axis=1)
+    covered = coverage[np.arange(width), best] > 0
+    result[covered] = uniq[best[covered]]
+    return result
+
+
+def _predominant_keys_walk(starts, ends, keys, view):
+    """Scalar two-pointer reference walk (overlapping-pixel views)."""
+    result = np.full(view.width, -1, dtype=np.int64)
+    count = len(starts)
     event = 0
     for x in range(view.width):
         t0, t1 = view.pixel_interval(x)
@@ -283,11 +347,33 @@ def _predominant_keys(starts, ends, keys, view):
 
 
 def _mean_values_per_pixel(starts, ends, values, view):
-    """Coverage-weighted mean value per pixel (continuous modes)."""
+    """Coverage-weighted mean value per pixel (continuous modes).
+
+    Two value-weighted/unweighted overlap-binning passes over the
+    pixel grid (the same difference-array kernel the derived metrics
+    use, :func:`repro.core.metrics.overlap_per_bin`) and a divide;
+    sub-cycle-pixel views fall back to the scalar walk like
+    :func:`_predominant_keys`.
+    """
+    result = np.full(view.width, np.nan, dtype=np.float64)
+    if len(starts) == 0:
+        return result
+    if view.duration < view.width:
+        return _mean_values_walk(starts, ends, values, view)
+    edges = _pixel_edges(view).astype(np.float64)
+    weighted = overlap_per_bin(starts, ends, edges,
+                                weights=np.asarray(values,
+                                                   dtype=np.float64))
+    coverage = overlap_per_bin(starts, ends, edges)
+    covered = coverage > 0
+    result[covered] = weighted[covered] / coverage[covered]
+    return result
+
+
+def _mean_values_walk(starts, ends, values, view):
+    """Scalar two-pointer reference walk (overlapping-pixel views)."""
     result = np.full(view.width, np.nan, dtype=np.float64)
     count = len(starts)
-    if count == 0:
-        return result
     event = 0
     for x in range(view.width):
         t0, t1 = view.pixel_interval(x)

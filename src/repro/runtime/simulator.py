@@ -262,6 +262,11 @@ class Simulator:
 
     def _seek(self, core, time):
         worker = self._workers[core]
+        # A wake scheduled while the worker was still paying its
+        # post-task CREATE/BROADCAST time may fire in the worker's past;
+        # looking for work cannot start before the worker is free, or
+        # the new state interval would overlap the ones already emitted.
+        time = max(time, worker.last_active)
         task = self.scheduler.pop_local(core)
         victim = None
         if task is None:

@@ -6,25 +6,27 @@ reading, synthetic trace files — are documented in
 """
 
 from .chunked import (ChunkEntry, ChunkIndex, ScanStats,
-                      read_chunk_index, stream_window_records)
+                      read_chunk_index, read_window_columnar,
+                      stream_window_records)
 from .compression import codec_for_path, open_trace_file
 from .format import FormatError, MAGIC, RecordTag, VERSION
 from .paraver import export_paraver
 from .reader import read_trace, read_trace_stream
 from .streaming import (StreamingStatistics, TaskHistogramAccumulator,
-                        build_window, split_time_window, stream_records,
-                        streaming_state_summary, streaming_statistics,
-                        streaming_task_histogram)
+                        build_window, fold_records, split_time_window,
+                        stream_records, streaming_state_summary,
+                        streaming_statistics, streaming_task_histogram)
 from .synthesize import write_synthetic_trace
 from .writer import (DEFAULT_CHUNK_RECORDS, IndexedTraceWriter,
                      TraceWriter, write_trace)
 
 __all__ = ["ChunkEntry", "ChunkIndex", "ScanStats", "read_chunk_index",
-           "stream_window_records", "codec_for_path", "open_trace_file",
+           "read_window_columnar", "stream_window_records",
+           "codec_for_path", "open_trace_file",
            "FormatError", "MAGIC", "RecordTag", "VERSION",
            "export_paraver", "read_trace", "read_trace_stream",
            "StreamingStatistics", "TaskHistogramAccumulator",
-           "build_window", "split_time_window",
+           "build_window", "fold_records", "split_time_window",
            "stream_records", "streaming_state_summary",
            "streaming_statistics", "streaming_task_histogram",
            "write_synthetic_trace", "DEFAULT_CHUNK_RECORDS",

@@ -197,3 +197,19 @@ def stream_window_records(path, start, end, stats=None):
         yield from iter_preamble_records(stream, index, stats)
         for entry in selected:
             yield from iter_chunk_records(stream, entry, stats)
+
+
+def read_window_columnar(path, start, end, stats=None):
+    """Seek-to-window extraction straight into a
+    :class:`~repro.core.columnar.ColumnarTrace`.
+
+    The chunk-seeking twin of ``read_trace(path, columnar=True)``: the
+    preamble and the chunks overlapping ``[start, end)`` are parsed
+    directly into per-core columns — per-event objects are never
+    materialized — and unindexed or compressed files fall back to the
+    full scan like :func:`stream_window_records` itself.
+    """
+    from .streaming import build_window
+    return build_window(stream_window_records(path, start, end,
+                                              stats=stats),
+                        start, end, columnar=True)

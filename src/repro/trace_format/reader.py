@@ -127,16 +127,35 @@ def _skip_chunk_index(stream):
         raise fmt.FormatError("corrupt chunk-index trailer")
 
 
-def read_trace(path):
-    """Load a trace file and return the indexed :class:`Trace`."""
+def read_trace(path, columnar=False):
+    """Load a trace file and return the indexed trace.
+
+    ``columnar=False`` (the default) returns the object-model
+    :class:`~repro.core.trace.Trace`.  ``columnar=True`` returns the
+    per-core structured-array
+    :class:`~repro.core.columnar.ColumnarTrace`, filling the arrays
+    directly while parsing — no per-event objects, and no whole-file
+    record buffering.
+    """
     with open_trace_file(path, "rb") as raw:
-        return read_trace_stream(raw)
+        return read_trace_stream(raw, columnar=columnar)
 
 
-def read_trace_stream(raw):
+def register_counter_description(builder, description):
+    """Install a :class:`CounterDescription` on a builder, preserving
+    the id stored in the file (padding any gaps with placeholders)."""
+    while len(builder.counter_descriptions) < description.counter_id:
+        builder.describe_counter("__unused_{}".format(
+            len(builder.counter_descriptions)))
+    builder.counter_descriptions.append(description)
+
+
+def read_trace_stream(raw, columnar=False):
     """Load a trace from an open binary stream (header included)."""
     stream = _Stream(raw)
     check_header(stream)
+    if columnar:
+        return _read_columnar(stream)
     topology = None
     counters = []
     task_types = []
@@ -157,17 +176,35 @@ def read_trace_stream(raw):
         raise fmt.FormatError("trace has no topology record")
     builder = TraceBuilder(topology)
     for description in counters:
-        # Preserve the ids stored in the file.
-        while len(builder.counter_descriptions) < description.counter_id:
-            builder.describe_counter("__unused_{}".format(
-                len(builder.counter_descriptions)))
-        builder.counter_descriptions.append(description)
+        register_counter_description(builder, description)
     for info in task_types:
         builder.describe_task_type(info)
     for info in regions:
         builder.describe_region(info)
     for record, fields in events:
         getattr(builder, record)(*fields)
+    return builder.build()
+
+
+def _read_columnar(stream):
+    """Fill a :class:`~repro.core.columnar.ColumnarBuilder` straight
+    from the record stream.  The builder tolerates a topology arriving
+    anywhere, so events append to their columns as they are parsed."""
+    from ..core.columnar import ColumnarBuilder
+    builder = ColumnarBuilder()
+    for kind, fields in parse_records(stream):
+        if kind == "topology":
+            builder.set_topology(fields)
+        elif kind == "counter_description":
+            register_counter_description(builder, fields)
+        elif kind == "task_type":
+            builder.describe_task_type(fields)
+        elif kind == "region":
+            builder.describe_region(fields)
+        else:
+            getattr(builder, kind)(*fields)
+    if builder.topology is None:
+        raise fmt.FormatError("trace has no topology record")
     return builder.build()
 
 

@@ -54,6 +54,68 @@ def stream_records(path):
         yield from parse_records(stream)
 
 
+#: Event record kinds whose fields are plain scalars and therefore
+#: batchable into columns (static records carry dataclasses and always
+#: go through the scalar ``consume`` path).
+BATCHABLE_KINDS = frozenset((
+    "state_interval", "task_execution", "counter_sample",
+    "discrete_event", "comm_event", "memory_access"))
+
+#: Records buffered per kind before a columnar flush.
+DEFAULT_BATCH_RECORDS = 65536
+
+
+def fold_records(records, accumulator, columnar=False,
+                 batch_records=DEFAULT_BATCH_RECORDS):
+    """Fold a ``(kind, fields)`` stream into an accumulator.
+
+    With ``columnar=False`` this is the plain per-record ``consume``
+    loop.  With ``columnar=True`` event records are buffered per kind
+    and handed to the accumulator's vectorized ``consume_batch(kind,
+    columns)`` in batches of ``batch_records`` — same results (every
+    accumulator aggregate is a sum, min or max), much less per-record
+    Python work.  An accumulator's ``batch_kinds`` attribute restricts
+    which kinds are worth buffering (default: every event kind);
+    accumulators without ``consume_batch`` silently fall back to the
+    scalar loop.  Returns ``accumulator``.
+    """
+    consume_batch = getattr(accumulator, "consume_batch", None)
+    if not columnar or consume_batch is None:
+        for kind, fields in records:
+            accumulator.consume(kind, fields)
+        return accumulator
+    batchable = frozenset(getattr(accumulator, "batch_kinds",
+                                  BATCHABLE_KINDS)) & BATCHABLE_KINDS
+    buffers = {}
+
+    def flush(kind):
+        rows = buffers.pop(kind, None)
+        if not rows:
+            return
+        if kind == "counter_sample":
+            # Mixed int/float fields: a single 2-D array would round
+            # timestamps through float64, so convert per column.
+            columns = tuple(np.asarray(column) for column in zip(*rows))
+        else:
+            # All-integer fields: one C-level pass builds the matrix.
+            matrix = np.array(rows, dtype=np.int64)
+            columns = tuple(matrix[:, field]
+                            for field in range(matrix.shape[1]))
+        consume_batch(kind, columns)
+
+    for kind, fields in records:
+        if kind in batchable:
+            rows = buffers.setdefault(kind, [])
+            rows.append(fields)
+            if len(rows) >= batch_records:
+                flush(kind)
+        else:
+            accumulator.consume(kind, fields)
+    for kind in list(buffers):
+        flush(kind)
+    return accumulator
+
+
 @dataclass
 class StreamingStatistics:
     """Constant-memory accumulator over one pass of a trace file.
@@ -75,6 +137,12 @@ class StreamingStatistics:
     type_names: Dict[int, str] = field(default_factory=dict)
     memory_accesses: int = 0
     bytes_accessed: int = 0
+
+    #: Kinds the vectorized batch path aggregates; everything else goes
+    #: through :meth:`consume` (see
+    #: :func:`repro.trace_format.streaming.fold_records`).
+    batch_kinds = ("state_interval", "task_execution", "counter_sample",
+                   "memory_access")
 
     def _stretch(self, start, end):
         self.begin = start if self.begin is None else min(self.begin,
@@ -110,6 +178,53 @@ class StreamingStatistics:
         elif kind == "memory_access":
             self.memory_accesses += 1
             self.bytes_accessed += fields[3]
+
+    def consume_batch(self, kind, columns):
+        """Vectorized :meth:`consume`: fold a whole batch of records of
+        one ``kind`` at once.  ``columns`` holds one array per record
+        field, in ``consume``'s field order.  Results are identical to
+        consuming the records one by one — every aggregate here is a
+        sum, min or max, so batching only changes the grouping.
+        """
+        count = len(columns[0]) if columns else 0
+        self.records += count
+        if count == 0:
+            return
+        if kind == "state_interval":
+            __, states, starts, ends = columns
+            unique, inverse = np.unique(states, return_inverse=True)
+            totals = np.zeros(len(unique), dtype=np.int64)
+            np.add.at(totals, inverse, ends - starts)
+            for state, cycles in zip(unique, totals):
+                self.state_cycles[int(state)] = (
+                    self.state_cycles.get(int(state), 0) + int(cycles))
+            self._stretch(int(starts.min()), int(ends.max()))
+        elif kind == "task_execution":
+            __, type_ids, __cores, starts, ends = columns
+            unique, inverse, counts = np.unique(
+                type_ids, return_inverse=True, return_counts=True)
+            durations = np.zeros(len(unique), dtype=np.int64)
+            np.add.at(durations, inverse, ends - starts)
+            for type_id, n, cycles in zip(unique, counts, durations):
+                self.tasks_per_type[int(type_id)] = (
+                    self.tasks_per_type.get(int(type_id), 0) + int(n))
+                self.duration_per_type[int(type_id)] = (
+                    self.duration_per_type.get(int(type_id), 0)
+                    + int(cycles))
+            self._stretch(int(starts.min()), int(ends.max()))
+        elif kind == "counter_sample":
+            __, counter_ids, timestamps, values = columns
+            for counter_id in np.unique(counter_ids):
+                batch = values[counter_ids == counter_id]
+                lo, hi = self.counter_extremes.get(
+                    int(counter_id), (float(batch[0]), float(batch[0])))
+                self.counter_extremes[int(counter_id)] = (
+                    min(lo, float(batch.min())),
+                    max(hi, float(batch.max())))
+            self._stretch(int(timestamps.min()), int(timestamps.max()))
+        elif kind == "memory_access":
+            self.memory_accesses += count
+            self.bytes_accessed += int(columns[3].sum())
 
     def merge(self, other):
         """Fold another accumulator (over disjoint records) into this
@@ -166,16 +281,16 @@ class StreamingStatistics:
         return "\n".join(lines)
 
 
-def streaming_statistics(path):
+def streaming_statistics(path, columnar=False):
     """One out-of-core pass: summary statistics of a trace file.
 
-    For the sharded multi-process equivalent see
+    ``columnar=True`` folds the records through the vectorized batch
+    path (:func:`fold_records`) — identical results, less per-record
+    work.  For the sharded multi-process equivalent see
     :func:`repro.analysis.parallel.parallel_streaming_statistics`.
     """
-    statistics = StreamingStatistics()
-    for kind, fields in stream_records(path):
-        statistics.consume(kind, fields)
-    return statistics
+    return fold_records(stream_records(path), StreamingStatistics(),
+                        columnar=columnar)
 
 
 def streaming_state_summary(path):
@@ -193,6 +308,9 @@ class TaskHistogramAccumulator:
     instance per shard — so the two paths cannot drift apart.
     Durations outside ``value_range`` are clamped into the edge bins.
     """
+
+    #: Only task executions are worth buffering for the batch path.
+    batch_kinds = ("task_execution",)
 
     def __init__(self, bins, value_range):
         if bins < 1:
@@ -215,27 +333,39 @@ class TaskHistogramAccumulator:
         index = int((duration - self.lo) / self.width)
         self.counts[min(max(index, 0), self.bins - 1)] += 1
 
+    def consume_batch(self, kind, columns):
+        """Vectorized :meth:`consume`: bin a whole batch of task
+        executions at once (other record kinds are ignored)."""
+        if kind != "task_execution" or not len(columns[0]):
+            return
+        durations = columns[4] - columns[3]
+        indices = ((durations - self.lo) / self.width).astype(np.int64)
+        indices = np.clip(indices, 0, self.bins - 1)
+        self.counts += np.bincount(indices, minlength=self.bins)
+
     def merge(self, other):
         """Add another histogram's counts (same edges assumed)."""
         self.counts += other.counts
         return self
 
 
-def streaming_task_histogram(path, bins, value_range):
+def streaming_task_histogram(path, bins, value_range, columnar=False):
     """Out-of-core task-duration histogram with fixed bin edges.
 
     ``value_range = (lo, hi)`` must be given up front (a streaming pass
     cannot know the duration range in advance); durations outside it
-    are clamped into the edge bins.  Returns ``(edges, counts)``.
+    are clamped into the edge bins.  ``columnar=True`` uses the
+    vectorized batch path.  Returns ``(edges, counts)``.
     """
-    accumulator = TaskHistogramAccumulator(bins, value_range)
-    for kind, fields in stream_records(path):
-        accumulator.consume(kind, fields)
+    accumulator = fold_records(stream_records(path),
+                               TaskHistogramAccumulator(bins, value_range),
+                               columnar=columnar)
     return accumulator.edges, accumulator.counts
 
 
-def split_time_window(path, start, end, use_index=True, stats=None):
-    """Extract [start, end) of a huge trace into an in-memory Trace.
+def split_time_window(path, start, end, use_index=True, stats=None,
+                      columnar=False):
+    """Extract [start, end) of a huge trace into an in-memory trace.
 
     Static records are kept in full; event records are dropped unless
     they overlap the window.  This is the out-of-core navigation
@@ -246,38 +376,43 @@ def split_time_window(path, start, end, use_index=True, stats=None):
     bytes; unindexed (or compressed) files fall back to the full scan.
     ``stats``, if given, is a
     :class:`~repro.trace_format.chunked.ScanStats` reporting how many
-    bytes the extraction actually read.
+    bytes the extraction actually read.  ``columnar=True`` assembles a
+    :class:`~repro.core.columnar.ColumnarTrace` instead of a
+    :class:`Trace`, without materializing per-event objects.
     """
     if use_index:
         from .chunked import stream_window_records
         records = stream_window_records(path, start, end, stats=stats)
     else:
         records = stream_records(path)
-    return build_window(records, start, end)
+    return build_window(records, start, end, columnar=columnar)
 
 
-def build_window(records, start, end):
-    """Assemble an in-memory :class:`Trace` from a ``(kind, fields)``
-    stream, keeping static records and the events overlapping
-    ``[start, end)``.  Factored out of :func:`split_time_window` so
-    both the sequential and the chunk-seeking paths share the exact
-    same filtering semantics."""
+def build_window(records, start, end, columnar=False):
+    """Assemble an in-memory trace from a ``(kind, fields)`` stream,
+    keeping static records and the events overlapping ``[start, end)``.
+    Factored out of :func:`split_time_window` so the sequential and the
+    chunk-seeking paths share the exact same filtering semantics; the
+    ``columnar`` flag only swaps the builder
+    (:class:`~repro.core.trace.TraceBuilder` vs.
+    :class:`~repro.core.columnar.ColumnarBuilder`)."""
+    from ..core.columnar import ColumnarBuilder
+    from .reader import register_counter_description
+
     def add_static(builder, kind, fields):
         if kind == "counter_description":
-            while len(builder.counter_descriptions) < fields.counter_id:
-                builder.describe_counter("__unused_{}".format(
-                    len(builder.counter_descriptions)))
-            builder.counter_descriptions.append(fields)
+            register_counter_description(builder, fields)
         elif kind == "task_type":
             builder.describe_task_type(fields)
         else:
             builder.describe_region(fields)
 
+    builder_class = ColumnarBuilder if columnar else TraceBuilder
     builder = None
     pending_static = []
     for kind, fields in records:
         if kind == "topology":
-            builder = TraceBuilder(fields)
+            builder = builder_class(fields)
             for static_kind, payload in pending_static:
                 add_static(builder, static_kind, payload)
             continue

@@ -72,7 +72,8 @@ def write_synthetic_trace(path, events=1_000_000, nodes=4,
         region_size = 1 << 20
         writer.region(RegionInfo(
             region_id=0, address=0x10000000, size=region_size,
-            page_nodes=tuple(page % nodes for page in range(16)),
+            page_nodes=tuple(page % nodes
+                             for page in range(region_size // 4096)),
             name="synthetic_heap"))
         clocks = [0] * num_cores
         task_id = 0

@@ -1,0 +1,328 @@
+"""Columnar/object parity sweep.
+
+For every analysis entry point in :mod:`repro.core.statistics`,
+:mod:`repro.core.metrics` and :mod:`repro.core.filters` (plus the
+index helpers and timeline rendering they feed), assert that running
+on the columnar store (:class:`~repro.core.columnar.ColumnarTrace`)
+produces *exactly* the same result as running on the object store
+(:class:`~repro.core.trace.Trace`) — bit-identical arrays, equal
+floats, equal report text — on randomized traces.  The pure-Python
+object-model implementations in :mod:`repro.core.reference` tie both
+stores to the executable specification.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (AllTasks, CoreFilter, DurationFilter,
+                        IntervalFilter, NumaNodeFilter, PredicateFilter,
+                        TaskTypeFilter, WorkerState, filtered_tasks,
+                        reference)
+from repro.core import index as core_index
+from repro.core import metrics, statistics
+from repro.render import StateMode, TimelineView, render_timeline
+from trace_gen import make_random_trace
+
+SEEDS = (1, 2, 3)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def pair(request):
+    trace = make_random_trace(request.param, events_per_core=60)
+    return trace, trace.to_columnar()
+
+
+def windows(trace):
+    """The whole trace plus one interior sub-interval."""
+    span = trace.end - trace.begin
+    yield None, None
+    yield trace.begin + span // 4, trace.begin + (3 * span) // 4
+
+
+class TestStatisticsParity:
+    def test_state_time_summary(self, pair):
+        trace, columnar = pair
+        for start, end in windows(trace):
+            assert (statistics.state_time_summary(trace, start, end)
+                    == statistics.state_time_summary(columnar, start, end)
+                    == reference.state_time_summary(trace, start, end))
+
+    def test_per_core_state_time(self, pair):
+        trace, columnar = pair
+        for state in WorkerState:
+            for start, end in windows(trace):
+                expected = statistics.per_core_state_time(trace, state,
+                                                          start, end)
+                assert np.array_equal(
+                    expected, statistics.per_core_state_time(
+                        columnar, state, start, end))
+                assert np.array_equal(
+                    expected, reference.per_core_state_time(
+                        trace, state, start, end))
+
+    def test_average_parallelism(self, pair):
+        trace, columnar = pair
+        for start, end in windows(trace):
+            expected = statistics.average_parallelism(trace, start, end)
+            assert expected == statistics.average_parallelism(columnar,
+                                                              start, end)
+            assert expected == reference.average_parallelism(trace,
+                                                             start, end)
+
+    def test_task_duration_histogram(self, pair):
+        trace, columnar = pair
+        for start, end in windows(trace):
+            edges, fractions = statistics.task_duration_histogram(
+                trace, bins=12, start=start, end=end)
+            col_edges, col_fractions = statistics.task_duration_histogram(
+                columnar, bins=12, start=start, end=end)
+            ref_edges, ref_fractions = reference.task_duration_histogram(
+                trace, bins=12, start=start, end=end)
+            assert np.array_equal(edges, col_edges)
+            assert np.array_equal(fractions, col_fractions)
+            assert np.array_equal(edges, ref_edges)
+            assert np.array_equal(fractions, ref_fractions)
+
+    def test_counter_histogram(self, pair):
+        trace, columnar = pair
+        if not trace.counter_descriptions:
+            pytest.skip("trace without counters")
+        name = trace.counter_descriptions[0].name
+        edges, fractions = statistics.counter_histogram(trace, name,
+                                                        bins=8)
+        col_edges, col_fractions = statistics.counter_histogram(
+            columnar, name, bins=8)
+        assert np.array_equal(edges, col_edges)
+        assert np.array_equal(fractions, col_fractions)
+
+    def test_communication_matrix(self, pair):
+        trace, columnar = pair
+        for kind in ("any", "read", "write"):
+            for normalize in (True, False):
+                expected = statistics.communication_matrix(
+                    trace, kind=kind, normalize=normalize)
+                assert np.array_equal(
+                    expected, statistics.communication_matrix(
+                        columnar, kind=kind, normalize=normalize))
+                assert np.array_equal(
+                    expected, reference.communication_matrix(
+                        trace, kind=kind, normalize=normalize))
+
+    def test_locality_fraction(self, pair):
+        trace, columnar = pair
+        assert (statistics.locality_fraction(trace)
+                == statistics.locality_fraction(columnar))
+
+    def test_steal_matrix(self, pair):
+        trace, columnar = pair
+        for start, end in windows(trace):
+            expected = statistics.steal_matrix(trace, start, end)
+            assert np.array_equal(expected,
+                                  statistics.steal_matrix(columnar,
+                                                          start, end))
+            assert np.array_equal(expected,
+                                  reference.steal_matrix(trace, start,
+                                                         end))
+
+    def test_interval_report(self, pair):
+        trace, columnar = pair
+        for start, end in windows(trace):
+            assert (statistics.interval_report(trace, start, end)
+                    .describe()
+                    == statistics.interval_report(columnar, start, end)
+                    .describe())
+
+
+class TestMetricsParity:
+    def test_interval_edges(self, pair):
+        trace, columnar = pair
+        assert np.array_equal(metrics.interval_edges(trace, 37),
+                              metrics.interval_edges(columnar, 37))
+
+    def test_state_count_series(self, pair):
+        trace, columnar = pair
+        for state in (WorkerState.RUNNING, WorkerState.IDLE):
+            edges, values = metrics.state_count_series(trace, state, 50)
+            col_edges, col_values = metrics.state_count_series(
+                columnar, state, 50)
+            assert np.array_equal(edges, col_edges)
+            assert np.array_equal(values, col_values)
+
+    def test_average_task_duration_series(self, pair):
+        trace, columnar = pair
+        edges, values = metrics.average_task_duration_series(trace, 40)
+        col_edges, col_values = metrics.average_task_duration_series(
+            columnar, 40)
+        assert np.array_equal(edges, col_edges)
+        assert np.array_equal(values, col_values)
+
+    def test_counter_series_metrics(self, pair):
+        trace, columnar = pair
+        if not trace.counter_descriptions:
+            pytest.skip("trace without counters")
+        name = trace.counter_descriptions[0].name
+        for function in (metrics.aggregate_counter_series,
+                         metrics.counter_derivative_series):
+            edges, values = function(trace, name, 30)
+            col_edges, col_values = function(columnar, name, 30)
+            assert np.array_equal(edges, col_edges)
+            assert np.array_equal(values, col_values)
+        if len(trace.counter_descriptions) > 1:
+            other = trace.counter_descriptions[1].name
+            edges, values = metrics.counter_ratio_series(trace, name,
+                                                         other, 30)
+            col_edges, col_values = metrics.counter_ratio_series(
+                columnar, name, other, 30)
+            assert np.array_equal(values, col_values)
+
+    def test_bytes_between_nodes_series(self, pair):
+        trace, columnar = pair
+        nodes = trace.topology.num_nodes
+        for src in range(nodes):
+            edges, values = metrics.bytes_between_nodes_series(
+                trace, src, (src + 1) % nodes, 25)
+            col_edges, col_values = metrics.bytes_between_nodes_series(
+                columnar, src, (src + 1) % nodes, 25)
+            assert np.array_equal(edges, col_edges)
+            assert np.array_equal(values, col_values)
+
+    def test_task_duration_stats(self, pair):
+        trace, columnar = pair
+        expected = metrics.task_duration_stats(trace)
+        assert expected == metrics.task_duration_stats(columnar)
+        assert expected == reference.task_duration_stats(trace)
+
+
+class TestFilterParity:
+    def filters_for(self, trace):
+        yield AllTasks()
+        yield DurationFilter(minimum=20, maximum=250)
+        span = trace.end - trace.begin
+        yield IntervalFilter(trace.begin + span // 3,
+                             trace.begin + (2 * span) // 3)
+        yield CoreFilter(range(0, trace.num_cores, 2))
+        if trace.task_types:
+            yield TaskTypeFilter(trace.task_types[0].name)
+        for mode in ("read", "write", "any"):
+            yield NumaNodeFilter(range(trace.topology.num_nodes),
+                                 mode=mode)
+        yield PredicateFilter(lambda execution:
+                              execution.duration % 2 == 0)
+        yield (DurationFilter(minimum=20) & CoreFilter([0])) | \
+            ~AllTasks()
+
+    def test_masks_identical(self, pair):
+        trace, columnar = pair
+        for task_filter in self.filters_for(trace):
+            assert np.array_equal(task_filter.mask(trace),
+                                  task_filter.mask(columnar)), task_filter
+
+    def test_filtered_tasks_identical(self, pair):
+        trace, columnar = pair
+        for task_filter in (None, DurationFilter(minimum=50)):
+            expected = filtered_tasks(trace, task_filter)
+            actual = filtered_tasks(columnar, task_filter)
+            assert sorted(expected) == sorted(actual)
+            for name in expected:
+                assert np.array_equal(expected[name], actual[name])
+
+
+class TestIndexParity:
+    def test_interval_queries(self, pair):
+        trace, columnar = pair
+        span = trace.end - trace.begin
+        start = trace.begin + span // 3
+        end = trace.begin + (2 * span) // 3
+        for core in range(trace.num_cores):
+            for query in (core_index.states_in_interval,
+                          core_index.tasks_in_interval,
+                          core_index.discrete_in_interval):
+                expected = query(trace, core, start, end)
+                actual = query(columnar, core, start, end)
+                assert sorted(expected) == sorted(actual)
+                for name in expected:
+                    assert np.array_equal(expected[name], actual[name])
+
+    def test_counter_queries(self, pair):
+        trace, columnar = pair
+        if not trace.counter_descriptions:
+            pytest.skip("trace without counters")
+        span = trace.end - trace.begin
+        for core in range(trace.num_cores):
+            expected = core_index.counter_samples_in_interval(
+                trace, core, 0, trace.begin + span // 3,
+                trace.end - span // 3)
+            actual = core_index.counter_samples_in_interval(
+                columnar, core, 0, trace.begin + span // 3,
+                trace.end - span // 3)
+            assert np.array_equal(expected[0], actual[0])
+            assert np.array_equal(expected[1], actual[1])
+
+
+class TestBatchAccumulatorParity:
+    """The vectorized ``consume_batch`` path must match the scalar
+    ``consume`` path bit for bit, through every entry point that
+    threads ``columnar=True`` and across batch-flush boundaries."""
+
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        from repro.trace_format import write_trace
+        path = tmp_path_factory.mktemp("batch") / "random.ost"
+        write_trace(make_random_trace(5, events_per_core=50), str(path),
+                    chunk_records=64)
+        return str(path)
+
+    def test_streaming_statistics(self, trace_file):
+        from repro.trace_format import streaming_statistics
+        assert (streaming_statistics(trace_file, columnar=True)
+                == streaming_statistics(trace_file))
+
+    def test_streaming_task_histogram(self, trace_file):
+        from repro.trace_format import streaming_task_histogram
+        edges, counts = streaming_task_histogram(trace_file, 16, (0, 500))
+        col_edges, col_counts = streaming_task_histogram(
+            trace_file, 16, (0, 500), columnar=True)
+        assert np.array_equal(edges, col_edges)
+        assert np.array_equal(counts, col_counts)
+
+    def test_parallel_entry_points(self, trace_file):
+        from repro.analysis import parallel_streaming_statistics
+        from repro.analysis.parallel import (parallel_comm_matrix,
+                                             parallel_task_histogram)
+        assert (parallel_streaming_statistics(trace_file, workers=2,
+                                              columnar=True)
+                == parallel_streaming_statistics(trace_file, workers=2))
+        assert np.array_equal(
+            parallel_comm_matrix(trace_file, workers=2, columnar=True),
+            parallel_comm_matrix(trace_file, workers=2))
+        __, counts = parallel_task_histogram(trace_file, 12, (0, 400),
+                                             workers=2)
+        __, col_counts = parallel_task_histogram(trace_file, 12, (0, 400),
+                                                 workers=2, columnar=True)
+        assert np.array_equal(counts, col_counts)
+
+    def test_state_time_summary_out_of_core(self, trace_file):
+        assert (statistics.state_time_summary_out_of_core(
+                    trace_file, columnar=True)
+                == statistics.state_time_summary_out_of_core(trace_file))
+
+    def test_fold_records_across_flush_boundaries(self, trace_file):
+        """A tiny batch size forces many partial flushes; every
+        aggregate must still equal the scalar pass exactly."""
+        from repro.trace_format import (StreamingStatistics, fold_records,
+                                        stream_records,
+                                        streaming_statistics)
+        batched = fold_records(stream_records(trace_file),
+                               StreamingStatistics(), columnar=True,
+                               batch_records=7)
+        assert batched == streaming_statistics(trace_file)
+
+
+class TestRenderParity:
+    def test_state_timeline_pixels_identical(self, pair):
+        trace, columnar = pair
+        view = TimelineView.fit(trace, width=200,
+                                height=4 * trace.num_cores)
+        object_fb = render_timeline(trace, StateMode(), view)
+        columnar_fb = render_timeline(columnar, StateMode(), view)
+        assert np.array_equal(object_fb.pixels, columnar_fb.pixels)

@@ -42,6 +42,23 @@ def test_paper_mapping_covers_every_benchmark():
             bench.name + " docstring does not link the mapping doc"
 
 
+def test_quickstart_example_runs_and_covers_both_stores(tmp_path,
+                                                        capsys):
+    """The README's runnable quickstart executes end to end, and its
+    columnar-store step reports parity with the object store."""
+    import importlib.util
+    spec = importlib.util.spec_from_file_location(
+        "quickstart", str(ROOT / "examples" / "quickstart.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main(str(tmp_path))
+    out = capsys.readouterr().out
+    assert "columnar statistics identical to object statistics: True" \
+        in out
+    assert "columnar reload matches conversion: True" in out
+    assert (tmp_path / "quickstart_states.ppm").exists()
+
+
 def test_public_trace_format_api_is_documented():
     sys.path.insert(0, str(ROOT / "tools"))
     try:

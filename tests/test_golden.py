@@ -1,0 +1,56 @@
+"""Golden-trace regression tests.
+
+Two small canonical trace files (a seidel-like stencil and a
+kmeans-like clustering run) are committed under ``tests/data/``
+together with pinned JSON expectations for their analysis results.
+Any numeric drift — in the trace format readers, the statistics, the
+metrics or the columnar store — fails these tests with exact-equality
+diffs.  Regenerate intentionally with ``python tools/make_golden.py``.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+from repro.trace_format import read_chunk_index, read_trace
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DATA_DIR = ROOT / "tests" / "data"
+
+sys.path.insert(0, str(ROOT / "tools"))
+from make_golden import GOLDEN_TRACES, golden_expectations  # noqa: E402
+
+sys.path.pop(0)
+
+
+@pytest.fixture(scope="module")
+def pinned():
+    with open(DATA_DIR / "golden_expectations.json") as stream:
+        return json.load(stream)
+
+
+@pytest.mark.parametrize("name", GOLDEN_TRACES)
+class TestGoldenTraces:
+    def test_fixture_files_exist(self, name, pinned):
+        path = DATA_DIR / "golden_{}.ost".format(name)
+        assert path.is_file()
+        assert name in pinned
+        assert read_chunk_index(str(path)) is not None
+
+    def test_object_store_matches_pinned_results(self, name, pinned):
+        trace = read_trace(str(DATA_DIR / "golden_{}.ost".format(name)))
+        assert golden_expectations(trace) == pinned[name]
+
+    def test_columnar_store_matches_pinned_results(self, name, pinned):
+        columnar = read_trace(
+            str(DATA_DIR / "golden_{}.ost".format(name)), columnar=True)
+        assert golden_expectations(columnar) == pinned[name]
+
+
+def test_expectations_cover_every_golden_trace(pinned):
+    assert sorted(pinned) == sorted(GOLDEN_TRACES)
+    for name, values in pinned.items():
+        assert values["counts"]["tasks"] > 0, name
+        assert sum(values["state_time_summary"].values()) > 0, name
