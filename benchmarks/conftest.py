@@ -12,10 +12,17 @@ for comparison) to ``benchmarks/results/``.
 from __future__ import annotations
 
 import os
+import pathlib
+import sys
 
 import pytest
 
 from repro import experiments
+
+# Benchmarks record machine-readable timings through tools/bench_json.py
+# (the perf trajectory uploaded by CI).
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "tools"))
 
 
 def pytest_addoption(parser):

@@ -33,6 +33,15 @@ from repro.render import (HeatmapMode, NumaHeatmapMode, NumaMode,
                           matrix_to_text, render_timeline)
 from repro.trace_format import read_trace
 
+def load_trace(args):
+    """Open the trace of a subcommand; ``--cache`` routes the open
+    through the memory-mapped ``.ostc`` sidecar (first use writes it,
+    later runs map it back without re-parsing)."""
+    if getattr(args, "cache", False):
+        return read_trace(args.trace, cache=True)
+    return read_trace(args.trace)
+
+
 MODES = {
     "state": StateMode,
     "heatmap": HeatmapMode,
@@ -44,7 +53,7 @@ MODES = {
 
 
 def cmd_info(args):
-    trace = read_trace(args.trace)
+    trace = load_trace(args)
     print(trace)
     print("machine: {} ({} nodes x {} cores)".format(
         trace.topology.name, trace.topology.num_nodes,
@@ -65,12 +74,12 @@ def cmd_info(args):
 
 
 def cmd_report(args):
-    trace = read_trace(args.trace)
+    trace = load_trace(args)
     print(interval_report(trace, args.start, args.end).describe())
 
 
 def cmd_render(args):
-    trace = read_trace(args.trace)
+    trace = load_trace(args)
     view = TimelineView.fit(trace, args.width,
                             args.lane * trace.num_cores)
     if args.start is not None or args.end is not None:
@@ -88,7 +97,7 @@ def cmd_render(args):
 
 
 def cmd_parallelism(args):
-    trace = read_trace(args.trace)
+    trace = load_trace(args)
     graph = reconstruct_task_graph(trace)
     depths, counts = graph.parallelism_profile()
     peak = counts.max() if len(counts) else 0
@@ -99,12 +108,12 @@ def cmd_parallelism(args):
 
 
 def cmd_matrix(args):
-    trace = read_trace(args.trace)
+    trace = load_trace(args)
     print(matrix_to_text(communication_matrix(trace, kind=args.kind)))
 
 
 def cmd_export(args):
-    trace = read_trace(args.trace)
+    trace = load_trace(args)
     task_filter = TaskTypeFilter(args.type) if args.type else None
     counters = [d.name for d in trace.counter_descriptions]
     rows = export_task_table(trace, args.output, counters=counters,
@@ -113,7 +122,7 @@ def cmd_export(args):
 
 
 def cmd_dot(args):
-    trace = read_trace(args.trace)
+    trace = load_trace(args)
     graph = reconstruct_task_graph(trace)
     subset = (graph.neighborhood(args.task, args.hops)
               if args.task is not None else None)
@@ -122,7 +131,7 @@ def cmd_dot(args):
 
 
 def cmd_anomalies(args):
-    trace = read_trace(args.trace)
+    trace = load_trace(args)
     findings = scan(trace)
     if not findings:
         print("no anomalies found")
@@ -134,12 +143,12 @@ def cmd_anomalies(args):
 
 
 def cmd_profile(args):
-    trace = read_trace(args.trace)
+    trace = load_trace(args)
     print(describe_profile(task_type_profile(trace)))
 
 
 def cmd_critical_path(args):
-    trace = read_trace(args.trace)
+    trace = load_trace(args)
     report = critical_path_report(trace)
     print(report.describe())
     if args.show_path:
@@ -147,7 +156,7 @@ def cmd_critical_path(args):
 
 
 def cmd_task(args):
-    trace = read_trace(args.trace)
+    trace = load_trace(args)
     print(task_details(trace, args.task_id).describe())
 
 
@@ -158,6 +167,9 @@ def main(argv=None):
     def with_trace(name, handler, **extra):
         sub = commands.add_parser(name)
         sub.add_argument("trace")
+        sub.add_argument("--cache", action="store_true",
+                         help="open through the memory-mapped .ostc "
+                              "sidecar (writes it on first use)")
         sub.set_defaults(handler=handler)
         return sub
 

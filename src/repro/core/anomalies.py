@@ -32,9 +32,8 @@ import numpy as np
 from .correlation import counter_rate_per_task, linear_regression
 from .events import WorkerState
 from .filters import TaskTypeFilter
-from .metrics import interval_edges, state_count_series
-from .numa import average_remote_fraction
-from .statistics import per_core_state_time
+from .metrics import interval_edges, overlap_per_bin, state_count_series
+from .numa import task_node_bytes
 
 
 @dataclass
@@ -135,16 +134,43 @@ def detect_locality_anomalies(trace, num_intervals=20, threshold=0.4):
     """Phases whose remote-access fraction exceeds ``threshold``.
 
     Automates the NUMA heatmap reading of Fig. 14e/f: a healthy
-    NUMA-aware execution stays mostly blue (local)."""
-    edges = interval_edges(trace, num_intervals)
+    NUMA-aware execution stays mostly blue (local).
+
+    Vectorized: the per-task (local, total) byte tallies are computed
+    once and scattered onto the interval bins with a difference array
+    — the old one-``average_remote_fraction``-call-per-bin loop (kept
+    in :mod:`repro.core.reference`) rescanned every access per bin.
+    All per-bin sums are integer-valued, so the fractions are
+    bit-identical to the reference.
+    """
+    edges = interval_edges(trace, num_intervals).astype(np.int64)
+    matrix = task_node_bytes(trace, "any")
+    columns = trace.tasks.columns
+    executing_node = columns["core"] // trace.topology.cores_per_node
+    total = matrix.sum(axis=1)
+    local = matrix[np.arange(len(matrix)), executing_node]
+    # A task contributes to every bin it overlaps: bins [first, last].
+    first = np.searchsorted(edges, columns["start"], side="right") - 1
+    last = np.searchsorted(edges, columns["end"], side="left") - 1
+    lo = np.maximum(first, 0)
+    hi = np.minimum(last, num_intervals - 1)
+    ok = lo <= hi
+    local_bins = np.zeros(num_intervals + 1, dtype=np.float64)
+    total_bins = np.zeros(num_intervals + 1, dtype=np.float64)
+    np.add.at(local_bins, lo[ok], local[ok])
+    np.add.at(local_bins, hi[ok] + 1, -local[ok])
+    np.add.at(total_bins, lo[ok], total[ok])
+    np.add.at(total_bins, hi[ok] + 1, -total[ok])
+    local_bins = np.cumsum(local_bins[:num_intervals])
+    total_bins = np.cumsum(total_bins[:num_intervals])
     anomalies = []
     for index in range(num_intervals):
-        start, end = int(edges[index]), int(edges[index + 1])
-        remote = average_remote_fraction(trace, start=start, end=end)
+        remote = (float(1.0 - local_bins[index] / total_bins[index])
+                  if total_bins[index] > 0 else 0.0)
         if remote >= threshold:
             anomalies.append(Anomaly(
-                kind="poor-locality", severity=remote, start=start,
-                end=end,
+                kind="poor-locality", severity=remote,
+                start=int(edges[index]), end=int(edges[index + 1]),
                 description="{:.0%} of accessed bytes are remote"
                 .format(remote)))
     anomalies.sort(key=lambda anomaly: -anomaly.severity)
@@ -156,13 +182,28 @@ def detect_load_imbalance(trace, num_intervals=10, threshold=0.25):
 
     Severity is the coefficient of variation of per-core RUNNING time
     within the interval; the alternating idle patterns of Fig. 13b/c
-    show up here."""
-    edges = interval_edges(trace, num_intervals)
+    show up here.
+
+    Vectorized: one :func:`~repro.core.metrics.overlap_per_bin` pass
+    per core replaces the old one-``per_core_state_time``-call-per-bin
+    loop (kept in :mod:`repro.core.reference`); every per-bin overlap
+    is an integer in float64, so the coefficients of variation are
+    bit-identical to the reference.
+    """
+    edges = interval_edges(trace, num_intervals).astype(np.int64)
+    bin_edges = edges.astype(np.float64)
+    busy_per_core = np.zeros((trace.num_cores, num_intervals),
+                             dtype=np.float64)
+    for core in range(trace.num_cores):
+        states = trace.states.core_column(core, "state")
+        keep = states == int(WorkerState.RUNNING)
+        busy_per_core[core] = overlap_per_bin(
+            trace.states.core_column(core, "start")[keep],
+            trace.states.core_column(core, "end")[keep], bin_edges)
     anomalies = []
     for index in range(num_intervals):
         start, end = int(edges[index]), int(edges[index + 1])
-        busy = per_core_state_time(trace, WorkerState.RUNNING, start,
-                                   end).astype(np.float64)
+        busy = busy_per_core[:, index]
         if busy.sum() == 0:
             continue
         cv = float(busy.std() / busy.mean()) if busy.mean() else 0.0

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .index import interval_slice, point_slice
 from .trace import EventViewMixin, RegionLookup, Trace, TraceBuilder
 
 #: One record per worker-state interval of one core.
@@ -145,7 +146,8 @@ class ColumnarTrace(EventViewMixin):
     :class:`~repro.core.trace.EventViewMixin`."""
 
     def __init__(self, topology, states, tasks, discrete, comm, accesses,
-                 counter_lanes, counter_descriptions, task_types, regions):
+                 counter_lanes, counter_descriptions, task_types, regions,
+                 time_bounds=None):
         self.topology = topology
         self.states = LaneStack(states, ("core", "state", "start", "end"))
         self.tasks = LaneStack(tasks, ("task_id", "type_id", "core",
@@ -166,7 +168,13 @@ class ColumnarTrace(EventViewMixin):
         self._comm = None
         self._accesses = None
         self._counter_series = None
-        self.begin, self.end = self._time_bounds()
+        # ``time_bounds`` lets a memory-mapped open skip the bounds
+        # scan (which would fault in every page of the interval lanes);
+        # the cache header stores the bounds instead.
+        if time_bounds is None:
+            self.begin, self.end = self._time_bounds()
+        else:
+            self.begin, self.end = int(time_bounds[0]), int(time_bounds[1])
 
     # -- global properties --------------------------------------------
     @property
@@ -228,6 +236,47 @@ class ColumnarTrace(EventViewMixin):
         """The structured sample array of one counter on one core."""
         empty = np.empty(0, dtype=COUNTER_DTYPE)
         return self.counter_lanes.get((core, counter_id), empty)
+
+    # -- zero-copy window slicing -------------------------------------
+    def slice_time_window(self, start, end):
+        """The sub-trace overlapping ``[start, end)`` as lane *views*.
+
+        Every lane is per-core sorted, so the events of the window are
+        one binary-searched slice per lane (Section VI-B-c): interval
+        kinds (states, tasks) keep every record overlapping the window,
+        point kinds keep timestamps in ``[start, end)`` — the exact
+        filtering semantics of
+        :func:`repro.trace_format.streaming.split_time_window`.  No
+        event data is copied; on a memory-mapped store only the pages
+        the returned slices touch are ever read, which is what makes
+        windowed queries on a cached million-event trace O(window).
+        """
+        def interval_lanes(stack):
+            lanes = []
+            for lane in stack.lanes:
+                selection = interval_slice(lane["start"], lane["end"],
+                                           start, end)
+                lanes.append(lane[selection])
+            return lanes
+
+        def point_lanes(stack):
+            return [lane[point_slice(lane["timestamp"], start, end)]
+                    for lane in stack.lanes]
+
+        counter_lanes = {
+            key: lane[point_slice(lane["timestamp"], start, end)]
+            for key, lane in self.counter_lanes.items()}
+        return ColumnarTrace(
+            topology=self.topology,
+            states=interval_lanes(self.states),
+            tasks=interval_lanes(self.tasks),
+            discrete=point_lanes(self.discrete),
+            comm=point_lanes(self.comm_lanes),
+            accesses=point_lanes(self.access_lanes),
+            counter_lanes=counter_lanes,
+            counter_descriptions=self.counter_descriptions,
+            task_types=self.task_types,
+            regions=self.regions)
 
     def __repr__(self):
         return ("ColumnarTrace(cores={}, states={}, tasks={}, "

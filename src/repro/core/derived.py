@@ -23,24 +23,34 @@ from . import metrics
 from .events import WorkerState
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class DerivedSeries:
-    """A materialized derived metric: one value per interval."""
+    """A materialized derived metric: one value per interval.
+
+    ``edges`` and ``values`` are stored as float64 numpy arrays (any
+    sequence passed to the constructor is normalized), so a series
+    flows from the metrics kernels to the overlay renderer without the
+    per-element tuple boxing the old representation paid on every
+    ``materialize``/render round trip."""
 
     name: str
-    edges: Tuple[float, ...]
-    values: Tuple[float, ...]
+    edges: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self):
+        object.__setattr__(self, "edges",
+                           np.asarray(self.edges, dtype=np.float64))
+        object.__setattr__(self, "values",
+                           np.asarray(self.values, dtype=np.float64))
 
     def as_arrays(self):
-        return (np.asarray(self.edges, dtype=np.float64),
-                np.asarray(self.values, dtype=np.float64))
+        return self.edges, self.values
 
     def sample_points(self):
         """(timestamps, values) at interval midpoints — the form the
         counter overlay renderer consumes."""
-        edges, values = self.as_arrays()
-        midpoints = (edges[:-1] + edges[1:]) / 2.0
-        return midpoints.astype(np.int64), values
+        midpoints = (self.edges[:-1] + self.edges[1:]) / 2.0
+        return midpoints.astype(np.int64), self.values
 
 
 class DerivedMetric:
@@ -75,7 +85,7 @@ class WorkersInState(DerivedMetric):
         edges, counts = metrics.state_count_series(
             trace, self.state, num_intervals, cores=self.cores,
             start=start, end=end)
-        return DerivedSeries(self.name, tuple(edges), tuple(counts))
+        return DerivedSeries(self.name, edges, counts)
 
 
 @dataclass(frozen=True)
@@ -88,7 +98,7 @@ class AverageTaskDuration(DerivedMetric):
                     end=None):
         edges, averages = metrics.average_task_duration_series(
             trace, num_intervals, start=start, end=end)
-        return DerivedSeries(self.name, tuple(edges), tuple(averages))
+        return DerivedSeries(self.name, edges, averages)
 
 
 @dataclass(frozen=True)
@@ -109,7 +119,7 @@ class AggregatedCounter(DerivedMetric):
             start=start, end=end)
         # Totals are sampled at edges; fold to per-interval means.
         values = (np.asarray(totals[:-1]) + np.asarray(totals[1:])) / 2.0
-        return DerivedSeries(self.name, tuple(edges), tuple(values))
+        return DerivedSeries(self.name, edges, values)
 
 
 @dataclass(frozen=True)
@@ -128,7 +138,7 @@ class BytesBetweenNodes(DerivedMetric):
         edges, totals = metrics.bytes_between_nodes_series(
             trace, self.src_node, self.dst_node, num_intervals,
             start=start, end=end)
-        return DerivedSeries(self.name, tuple(edges), tuple(totals))
+        return DerivedSeries(self.name, edges, totals)
 
 
 @dataclass(frozen=True)
@@ -148,7 +158,7 @@ class Derivative(DerivedMetric):
         # Treat the per-interval values as samples at midpoints.
         midpoints = (edges[:-1] + edges[1:]) / 2.0
         rates = metrics.discrete_derivative(midpoints, values)
-        return DerivedSeries(self.name, tuple(midpoints), tuple(rates))
+        return DerivedSeries(self.name, midpoints, rates)
 
 
 @dataclass(frozen=True)
@@ -177,7 +187,7 @@ class Ratio(DerivedMetric):
                            out=np.zeros(count),
                            where=bottom_values[:count] != 0)
         return DerivedSeries(self.name, top.edges[:count + 1],
-                             tuple(values))
+                             values)
 
 
 class DerivedMetricMenu:

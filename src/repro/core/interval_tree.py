@@ -18,6 +18,43 @@ import numpy as np
 DEFAULT_ARITY = 100
 
 
+def segment_minmax(values, boundaries):
+    """Batched (min, max) over a contiguous partition of ``values``.
+
+    ``boundaries`` is a nondecreasing integer array of length ``n + 1``
+    with entries in ``[0, len(values)]``; segment ``i`` is
+    ``values[boundaries[i]:boundaries[i + 1]]`` — exactly the sample
+    ranges the pixel columns of a zoomed view cut out of a sorted
+    counter lane.  Returns ``(mins, maxs)`` float arrays of length
+    ``n`` with ``NaN`` for empty segments.  One vectorized pass over
+    the covered range (``np.minimum.reduceat``) replaces ``n`` scalar
+    slice reductions — the batched kernel of the interactive counter
+    render.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    boundaries = np.asarray(boundaries, dtype=np.int64)
+    count = len(boundaries) - 1
+    mins = np.full(count, np.nan, dtype=np.float64)
+    maxs = np.full(count, np.nan, dtype=np.float64)
+    if count < 1 or len(values) == 0:
+        return mins, maxs
+    covered = np.diff(boundaries) > 0
+    if not covered.any():
+        return mins, maxs
+    # Restrict to the covered range so reduceat's implicit final
+    # segment ends exactly at the last boundary.
+    window = values[boundaries[0]:boundaries[-1]]
+    offsets = boundaries - boundaries[0]
+    last = int(np.nonzero(covered)[0][-1])
+    indices = offsets[:last + 1]
+    seg_min = np.minimum.reduceat(window, indices)
+    seg_max = np.maximum.reduceat(window, indices)
+    head = covered[:last + 1]
+    mins[:last + 1][head] = seg_min[head]
+    maxs[:last + 1][head] = seg_max[head]
+    return mins, maxs
+
+
 class MinMaxTree:
     """Range-min/max over a fixed array of samples.
 
@@ -61,6 +98,92 @@ class MinMaxTree:
         internal = sum(len(level) for level in self._mins[1:])
         return internal / leaves
 
+    def bounds(self):
+        """Global (min, max) over all samples in O(1) — the tree root —
+        or ``None`` for an empty tree.  This is what makes per-frame
+        axis scaling (:func:`repro.render.counter_overlay.value_bounds`)
+        free once the tree is memoized on the trace store."""
+        if len(self) == 0:
+            return None
+        return float(self._mins[-1][0]), float(self._maxs[-1][0])
+
+    def _fold_ranges(self, level, lo, hi, acc_min, acc_max):
+        """Fold min/max of per-segment ranges ``[lo_k, hi_k)`` of one
+        tree level into the accumulators (empty ranges contribute
+        nothing).  The ranges' elements are gathered first, so the
+        cost is the number of gathered elements, not their span."""
+        lengths = hi - lo
+        keep = lengths > 0
+        if not keep.any():
+            return
+        range_lo = lo[keep]
+        range_len = lengths[keep]
+        first = np.cumsum(range_len) - range_len
+        flat = (np.arange(int(range_len.sum()))
+                - np.repeat(first - range_lo, range_len))
+        seg_min = np.minimum.reduceat(self._mins[level][flat], first)
+        seg_max = np.maximum.reduceat(self._maxs[level][flat], first)
+        acc_min[keep] = np.minimum(acc_min[keep], seg_min)
+        acc_max[keep] = np.maximum(acc_max[keep], seg_max)
+
+    def query_segments(self, boundaries):
+        """Batched (min, max) over a contiguous partition of the leaves.
+
+        ``boundaries`` is a nondecreasing integer array of length
+        ``n + 1`` with values in ``[0, len(self)]``; segment ``i`` is
+        ``values[boundaries[i]:boundaries[i + 1]]`` — exactly the
+        sample ranges the pixel columns of a zoomed view cut out of a
+        sorted counter lane.  Returns ``(mins, maxs)`` float arrays of
+        length ``n`` with ``NaN`` for empty segments.
+
+        Small ranges go through one :func:`segment_minmax` pass over
+        the leaves; wide ranges walk the tree levels instead — per
+        level, each segment contributes at most ``arity - 1`` leading
+        and trailing elements (batched through one gather + reduceat)
+        and the aligned middle ascends a level, so a zoomed-out frame
+        over a huge lane costs O(segments * arity * levels) rather
+        than a rescan of every visible sample.
+        """
+        boundaries = np.asarray(boundaries, dtype=np.int64)
+        count = len(boundaries) - 1
+        if count < 1 or len(self) == 0:
+            return (np.full(max(count, 0), np.nan),
+                    np.full(max(count, 0), np.nan))
+        span = int(boundaries[-1] - boundaries[0])
+        if span <= 2 * count * self.arity:
+            # Touching the leaves directly is cheaper than the walk.
+            return segment_minmax(self._mins[0], boundaries)
+        lo = boundaries[:-1].copy()
+        hi = boundaries[1:].copy()
+        covered = hi > lo
+        acc_min = np.full(count, np.inf, dtype=np.float64)
+        acc_max = np.full(count, -np.inf, dtype=np.float64)
+        arity = self.arity
+        for level in range(self.levels):
+            if level == self.levels - 1:
+                self._fold_ranges(level, lo, hi, acc_min, acc_max)
+                break
+            lo_aligned = -(-lo // arity) * arity
+            hi_aligned = (hi // arity) * arity
+            has_middle = lo_aligned < hi_aligned
+            # Unaligned leading/trailing elements stay at this level;
+            # the aligned middle becomes whole blocks one level up.
+            self._fold_ranges(level, lo,
+                              np.where(has_middle, lo_aligned, hi),
+                              acc_min, acc_max)
+            self._fold_ranges(level, np.where(has_middle, hi_aligned,
+                                              hi),
+                              hi, acc_min, acc_max)
+            if not has_middle.any():
+                break
+            lo = np.where(has_middle, lo_aligned // arity, 0)
+            hi = np.where(has_middle, hi_aligned // arity, 0)
+        mins = np.full(count, np.nan, dtype=np.float64)
+        maxs = np.full(count, np.nan, dtype=np.float64)
+        mins[covered] = acc_min[covered]
+        maxs[covered] = acc_max[covered]
+        return mins, maxs
+
     def query(self, lo, hi):
         """(min, max) of ``values[lo:hi]``; raises on an empty range."""
         if lo < 0 or hi > len(self) or lo >= hi:
@@ -99,6 +222,12 @@ class CounterIndex:
         self._trees = {}
 
     def tree(self, core, counter_id):
+        memoized = getattr(self.trace, "minmax_tree", None)
+        if memoized is not None:
+            # Share the per-(core, counter) trees memoized on the trace
+            # store, so repeated zoom/pan frames (and every other
+            # CounterIndex over the same trace) reuse one tree.
+            return memoized(core, counter_id, arity=self.arity)
         key = (core, counter_id)
         tree = self._trees.get(key)
         if tree is None:

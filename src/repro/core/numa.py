@@ -13,11 +13,20 @@ import numpy as np
 
 
 def _task_positions(trace, access_task_ids):
-    """Row index in the canonical task table for each access."""
+    """Row index in the canonical task table for each access.
+
+    Returns ``(positions, known)``: accesses whose task id has no row
+    in the task table (a dangling reference — the format does not
+    forbid them) are flagged ``False`` in ``known`` and carry an
+    arbitrary in-range position that callers must mask out.
+    """
     all_ids = trace.tasks.columns["task_id"]
     order = np.argsort(all_ids)
-    positions = order[np.searchsorted(all_ids[order], access_task_ids)]
-    return positions
+    sorted_ids = all_ids[order]
+    found = np.searchsorted(sorted_ids, access_task_ids)
+    clipped = np.minimum(found, len(sorted_ids) - 1)
+    known = sorted_ids[clipped] == access_task_ids
+    return order[clipped], known
 
 
 def task_node_bytes(trace, kind="read"):
@@ -40,10 +49,11 @@ def task_node_bytes(trace, kind="read"):
         keep = accesses["is_write"] == 1
     nodes = trace.nodes_of_addresses(accesses["address"][keep])
     valid = nodes >= 0
-    positions = _task_positions(trace, accesses["task_id"][keep][valid])
-    flat_keys = positions * num_nodes + nodes[valid]
+    positions, known = _task_positions(trace,
+                                       accesses["task_id"][keep][valid])
+    flat_keys = positions[known] * num_nodes + nodes[valid][known]
     totals = np.bincount(flat_keys,
-                         weights=accesses["size"][keep][valid],
+                         weights=accesses["size"][keep][valid][known],
                          minlength=num_tasks * num_nodes)
     return totals.reshape(num_tasks, num_nodes)
 

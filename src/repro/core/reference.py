@@ -119,6 +119,106 @@ def steal_matrix(trace, start=None, end=None):
     return matrix
 
 
+def counter_increase_per_task(trace, counter, task_filter=None):
+    """Reference for
+    :func:`repro.core.correlation.counter_increase_per_task`: one
+    scalar ``searchsorted`` pair per task, exactly the original
+    per-task loop."""
+    from .filters import filtered_tasks
+    counter_id = (trace.counter_id(counter) if isinstance(counter, str)
+                  else counter)
+    columns = filtered_tasks(trace, task_filter)
+    increases = np.zeros(len(columns["task_id"]), dtype=np.float64)
+    per_core = {}
+    for index in range(len(increases)):
+        core = int(columns["core"][index])
+        series = per_core.get(core)
+        if series is None:
+            series = per_core[core] = trace.counter_samples(core,
+                                                            counter_id)
+        timestamps, values = series
+        if len(timestamps) == 0:
+            continue
+        lo = np.searchsorted(timestamps, columns["start"][index],
+                             side="left")
+        hi = np.searchsorted(timestamps, columns["end"][index],
+                             side="right") - 1
+        lo = min(max(lo, 0), len(values) - 1)
+        hi = min(max(hi, lo), len(values) - 1)
+        increases[index] = values[hi] - values[lo]
+    return columns, increases
+
+
+def counter_value_bounds(trace, counter_id, cores=None):
+    """Reference for :func:`repro.render.counter_overlay.value_bounds`:
+    rescan every sample of every requested core on each call (the
+    per-frame waste the memoized min/max trees eliminate)."""
+    cores = range(trace.num_cores) if cores is None else cores
+    minimum, maximum = np.inf, -np.inf
+    for core in cores:
+        __, values = trace.counter_samples(core, counter_id)
+        if len(values):
+            minimum = min(minimum, float(values.min()))
+            maximum = max(maximum, float(values.max()))
+    if not np.isfinite(minimum):
+        return 0.0, 1.0
+    if maximum <= minimum:
+        maximum = minimum + 1.0
+    return minimum, maximum
+
+
+def detect_locality_anomalies(trace, num_intervals=20, threshold=0.4):
+    """Reference for
+    :func:`repro.core.anomalies.detect_locality_anomalies`: one full
+    :func:`~repro.core.numa.average_remote_fraction` pass per bin."""
+    from .anomalies import Anomaly
+    from .metrics import interval_edges
+    from .numa import average_remote_fraction
+    edges = interval_edges(trace, num_intervals)
+    anomalies = []
+    for index in range(num_intervals):
+        start, end = int(edges[index]), int(edges[index + 1])
+        remote = average_remote_fraction(trace, start=start, end=end)
+        if remote >= threshold:
+            anomalies.append(Anomaly(
+                kind="poor-locality", severity=remote, start=start,
+                end=end,
+                description="{:.0%} of accessed bytes are remote"
+                .format(remote)))
+    anomalies.sort(key=lambda anomaly: -anomaly.severity)
+    return anomalies
+
+
+def detect_load_imbalance(trace, num_intervals=10, threshold=0.25):
+    """Reference for
+    :func:`repro.core.anomalies.detect_load_imbalance`: one full
+    :func:`~repro.core.statistics.per_core_state_time` scan per bin."""
+    from .anomalies import Anomaly
+    from .events import WorkerState
+    from .metrics import interval_edges
+    from .statistics import per_core_state_time
+    edges = interval_edges(trace, num_intervals)
+    anomalies = []
+    for index in range(num_intervals):
+        start, end = int(edges[index]), int(edges[index + 1])
+        busy = per_core_state_time(trace, WorkerState.RUNNING, start,
+                                   end).astype(np.float64)
+        if busy.sum() == 0:
+            continue
+        cv = float(busy.std() / busy.mean()) if busy.mean() else 0.0
+        if cv >= threshold:
+            laggards = [int(core) for core in
+                        np.flatnonzero(busy < busy.mean() / 2)]
+            anomalies.append(Anomaly(
+                kind="load-imbalance", severity=cv, start=start, end=end,
+                cores=laggards or None,
+                description="per-core busy time varies (CV {:.2f}); "
+                "{} cores under half the mean".format(cv,
+                                                      len(laggards))))
+    anomalies.sort(key=lambda anomaly: -anomaly.severity)
+    return anomalies
+
+
 def communication_matrix(trace, start=None, end=None, normalize=True,
                          kind="any"):
     """Reference for

@@ -249,6 +249,30 @@ class EventViewMixin:
                  np.empty(0, dtype=np.float64))
         return self.counter_series.get((core, counter_id), empty)
 
+    def minmax_tree(self, core, counter_id, arity=None):
+        """The n-ary min/max tree of one counter on one core, memoized.
+
+        Section VI-B-c builds these once per (core, counter) at load
+        time; memoizing them on the store gives the same effect lazily:
+        the first frame of a counter overlay builds the tree, every
+        later zoom/pan frame reuses it.  Shared by
+        :class:`~repro.core.interval_tree.CounterIndex`,
+        :func:`~repro.render.counter_overlay.value_bounds` and the
+        vectorized render kernels.
+        """
+        from .interval_tree import DEFAULT_ARITY, MinMaxTree
+        arity = DEFAULT_ARITY if arity is None else arity
+        trees = getattr(self, "_minmax_trees", None)
+        if trees is None:
+            trees = {}
+            self._minmax_trees = trees
+        key = (core, counter_id, arity)
+        tree = trees.get(key)
+        if tree is None:
+            __, values = self.counter_samples(core, counter_id)
+            tree = trees[key] = MinMaxTree(values, arity=arity)
+        return tree
+
     # -- per-event dataclass views ------------------------------------
     def task_by_id(self, task_id):
         """The :class:`TaskExecution` for a task id (raises

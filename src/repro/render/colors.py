@@ -93,3 +93,14 @@ def matrix_red(fraction):
     fraction = min(max(float(fraction), 0.0), 1.0)
     return (255 - int(75 * fraction), int(255 * (1 - fraction)),
             int(255 * (1 - fraction)))
+
+
+def matrix_red_array(fractions):
+    """Vectorized :func:`matrix_red`: an ``(..., 3)`` uint8 array with
+    exactly the same clamping and truncation, cell for cell."""
+    fractions = np.clip(np.asarray(fractions, dtype=np.float64),
+                        0.0, 1.0)
+    red = 255 - (75 * fractions).astype(np.int64)
+    green_blue = (255 * (1 - fractions)).astype(np.int64)
+    return np.stack((red, green_blue, green_blue),
+                    axis=-1).astype(np.uint8)

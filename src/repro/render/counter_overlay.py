@@ -7,6 +7,22 @@ Aftermath instead determines, per pixel column, the minimum and maximum
 counter values (``vmin``/``vmax``), maps them to pixels and draws one
 vertical line — with the n-ary min/max search tree of Section VI-B-c
 avoiding a scan of every sample in the column.
+
+Two implementations of the optimized mode coexist:
+
+* the **vectorized kernel** (default) — one batched ``searchsorted``
+  over the pixel edges and one ``segment_minmax``/
+  :meth:`~repro.core.interval_tree.MinMaxTree.query_segments` pass
+  computes every column's extremes at once, with the per-``(core,
+  counter)`` trees memoized on the trace store
+  (:meth:`~repro.core.trace.EventViewMixin.minmax_tree`) so repeated
+  zoom/pan frames rebuild nothing;
+* the **scalar reference** (``vectorized=False``, and the automatic
+  fallback for views zoomed below one cycle per pixel) — the original
+  per-pixel loop, kept as the executable specification the parity
+  tests and the interactive benchmark compare against.
+
+Both produce bit-identical framebuffers and draw-call counts.
 """
 
 from __future__ import annotations
@@ -15,19 +31,31 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..core.interval_tree import CounterIndex
+from ..core.interval_tree import CounterIndex, segment_minmax
 from ..core.metrics import discrete_derivative
 
 
 def value_bounds(trace, counter_id, cores=None):
-    """Global (min, max) of a counter across cores, for axis scaling."""
+    """Global (min, max) of a counter across cores, for axis scaling.
+
+    Routed through the per-``(core, counter)`` min/max trees memoized
+    on the trace store: the first call builds each tree once, every
+    later frame reads the tree roots in O(1) instead of rescanning all
+    samples (the per-frame waste this function used to pay).
+    """
     cores = range(trace.num_cores) if cores is None else cores
+    memoized = getattr(trace, "minmax_tree", None)
     minimum, maximum = np.inf, -np.inf
     for core in cores:
-        __, values = trace.counter_samples(core, counter_id)
-        if len(values):
-            minimum = min(minimum, float(values.min()))
-            maximum = max(maximum, float(values.max()))
+        if memoized is not None:
+            extremes = memoized(core, counter_id).bounds()
+        else:
+            __, values = trace.counter_samples(core, counter_id)
+            extremes = ((float(values.min()), float(values.max()))
+                        if len(values) else None)
+        if extremes is not None:
+            minimum = min(minimum, extremes[0])
+            maximum = max(maximum, extremes[1])
     if not np.isfinite(minimum):
         return 0.0, 1.0
     if maximum <= minimum:
@@ -42,14 +70,70 @@ def _value_to_y(value, bounds, top, height):
     return int(top + (height - 1) * (1.0 - fraction))
 
 
+def _values_to_y(values, bounds, top, height):
+    """Vectorized :func:`_value_to_y` (identical floats, truncation)."""
+    lo, hi = bounds
+    fraction = (np.asarray(values, dtype=np.float64) - lo) / (hi - lo)
+    fraction = np.clip(fraction, 0.0, 1.0)
+    return (top + (height - 1) * (1.0 - fraction)).astype(np.int64)
+
+
+def _pixel_edges(view):
+    """t0(x) of every pixel column plus ``view.end``; a valid
+    partition of the view only when ``duration >= width``."""
+    x = np.arange(view.width + 1, dtype=np.int64)
+    return view.start + view.duration * x // view.width
+
+
+def _column_extremes(timestamps, values, view, tree=None):
+    """Per-column (vmin, vmax) of every drawable pixel, batched.
+
+    Covered columns take their extremes from one
+    ``segment_minmax``/``query_segments`` pass (the pixel edges cut the
+    sorted sample lane into one contiguous partition); empty columns
+    interpolate at the pixel center exactly like the scalar reference.
+    Returns ``(xs, vmins, vmaxs)`` for the columns to draw.
+    """
+    edges = _pixel_edges(view)
+    boundaries = np.searchsorted(timestamps, edges, side="left")
+    if tree is not None:
+        vmins, vmaxs = tree.query_segments(boundaries)
+    else:
+        vmins, vmaxs = segment_minmax(values, boundaries)
+    covered = np.diff(boundaries) > 0
+    centers = (edges[:-1] + edges[1:]) // 2
+    inside = (~covered & (centers >= timestamps[0])
+              & (centers <= timestamps[-1]))
+    if inside.any():
+        interpolated = np.interp(centers[inside], timestamps, values)
+        vmins[inside] = interpolated
+        vmaxs[inside] = interpolated
+    draw = covered | inside
+    xs = np.flatnonzero(draw)
+    return xs, vmins[draw], vmaxs[draw]
+
+
+def _draw_columns(framebuffer, xs, vmins, vmaxs, bounds, top, height,
+                  color):
+    """Emit the drawable columns as one batched vertical-line call —
+    pixels and draw-call accounting identical to the scalar
+    reference's per-column loop."""
+    y_from_max = _values_to_y(vmaxs, bounds, top, height)
+    y_from_min = _values_to_y(vmins, bounds, top, height)
+    return framebuffer.vertical_lines(xs, y_from_max, y_from_min, color)
+
+
 def render_counter(trace, counter, view, framebuffer, core=0,
                    color=(255, 60, 60), top=None, height=None,
-                   bounds=None, counter_index=None, optimized=True):
+                   bounds=None, counter_index=None, optimized=True,
+                   vectorized=True):
     """Render one core's counter curve into the framebuffer.
 
     With ``optimized=True`` each pixel column draws exactly one
-    vertical line spanning [pmin, pmax] (Fig. 21b); the min/max query
-    uses ``counter_index`` (a :class:`CounterIndex`) when provided.
+    vertical line spanning [pmin, pmax] (Fig. 21b); the column extremes
+    come from the vectorized batched kernel (or, with
+    ``vectorized=False``, the scalar per-pixel reference loop, which
+    uses ``counter_index`` — a :class:`CounterIndex` — when provided).
     With ``optimized=False`` every adjacent sample pair becomes a line
     (Fig. 21a) — the baseline the rendering benchmark compares against.
     Returns the number of drawing operations issued.
@@ -74,6 +158,19 @@ def render_counter(trace, counter, view, framebuffer, core=0,
             y1 = _value_to_y(values[index + 1], bounds, top, height)
             framebuffer.draw_line(max(x0, 0), y0,
                                   min(x1, view.width - 1), y1, color)
+        return framebuffer.draw_calls - before
+    if vectorized and view.duration >= view.width:
+        tree = None
+        if counter_index is not None:
+            tree = counter_index.tree(core, counter_id)
+        else:
+            memoized = getattr(trace, "minmax_tree", None)
+            if memoized is not None:
+                tree = memoized(core, counter_id)
+        xs, vmins, vmaxs = _column_extremes(timestamps, values, view,
+                                            tree=tree)
+        _draw_columns(framebuffer, xs, vmins, vmaxs, bounds, top,
+                      height, color)
         return framebuffer.draw_calls - before
     for x in range(view.width):
         t0, t1 = view.pixel_interval(x)
@@ -100,12 +197,13 @@ def render_counter(trace, counter, view, framebuffer, core=0,
 
 
 def render_derived_series(series, view, framebuffer, color=(90, 220, 90),
-                          top=None, height=None):
+                          top=None, height=None, vectorized=True):
     """Render a materialized :class:`DerivedSeries` over the timeline.
 
     Derived metrics are global (not per core), so the curve spans the
     full overlay height by default; drawing uses the same one-vertical-
-    line-per-pixel scheme as hardware counters.
+    line-per-pixel scheme as hardware counters, with the same batched
+    kernel (``vectorized=False`` keeps the scalar reference loop).
     """
     timestamps, values = series.sample_points()
     top = 0 if top is None else top
@@ -116,6 +214,11 @@ def render_derived_series(series, view, framebuffer, color=(90, 220, 90),
     hi = float(np.max(values))
     bounds = (lo, hi if hi > lo else lo + 1.0)
     before = framebuffer.draw_calls
+    if vectorized and view.duration >= view.width:
+        xs, vmins, vmaxs = _column_extremes(timestamps, values, view)
+        _draw_columns(framebuffer, xs, vmins, vmaxs, bounds, top,
+                      height, color)
+        return framebuffer.draw_calls - before
     for x in range(view.width):
         t0, t1 = view.pixel_interval(x)
         first = int(np.searchsorted(timestamps, t0, side="left"))

@@ -27,15 +27,26 @@ EVENT_COLORS = {
 
 
 def render_discrete_events(trace, view, framebuffer, kind=None,
-                           marker_height=3):
+                           marker_height=3, vectorized=True):
     """Draw markers for discrete events on every core lane.
 
     ``kind`` restricts to one :class:`DiscreteEventKind`.  Returns the
     number of markers drawn (aggregated per pixel column and lane).
+
+    Marker placement is vectorized: per core, the visible events'
+    pixel columns are computed in one pass and deduplicated with a
+    shifted-compare (timestamps are sorted per core, so equal columns
+    are adjacent); the markers of *all* lanes are then painted with
+    one batched draw per event kind.  Lanes are disjoint pixel rows
+    and marker columns are distinct within a lane, so the batches
+    touch exactly the pixels of the per-event loop —
+    ``vectorized=False`` keeps that loop as the parity reference, with
+    identical pixels and draw-call counts.
     """
     lane_height, lane_tops = view.lane_geometry(trace.num_cores)
     height = min(marker_height, lane_height)
     markers = 0
+    batch_xs, batch_tops, batch_kinds = [], [], []
     for core in range(trace.num_cores):
         columns = discrete_in_interval(trace, core, view.start, view.end,
                                        kind=kind)
@@ -45,6 +56,18 @@ def render_discrete_events(trace, view, framebuffer, kind=None,
             continue
         pixels = ((timestamps - view.start) * view.width
                   // view.duration)
+        if vectorized:
+            visible = (pixels >= 0) & (pixels < view.width)
+            xs = pixels[visible]
+            if len(xs) == 0:
+                continue
+            first = np.ones(len(xs), dtype=bool)
+            first[1:] = xs[1:] != xs[:-1]
+            batch_xs.append(xs[first])
+            batch_kinds.append(kinds[visible][first])
+            batch_tops.append(np.full(int(first.sum()), lane_tops[core],
+                                      dtype=np.int64))
+            continue
         seen = None
         for index in range(len(pixels)):
             x = int(pixels[index])
@@ -57,6 +80,16 @@ def render_discrete_events(trace, view, framebuffer, kind=None,
                                       lane_tops[core] + height - 1,
                                       color)
             markers += 1
+    if batch_xs:
+        xs = np.concatenate(batch_xs)
+        tops = np.concatenate(batch_tops)
+        marker_kinds = np.concatenate(batch_kinds)
+        for kind_value in np.unique(marker_kinds):
+            group = marker_kinds == kind_value
+            color = EVENT_COLORS.get(int(kind_value), (200, 200, 200))
+            framebuffer.vertical_lines(xs[group], tops[group],
+                                       tops[group] + height - 1, color)
+        markers += len(xs)
     return markers
 
 

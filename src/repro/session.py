@@ -34,6 +34,25 @@ class AnalysisSession:
         self._history: List[TimelineView] = []
         self._future: List[TimelineView] = []
 
+    @classmethod
+    def open(cls, path, width=1024, height=256, cache=True):
+        """Start a session straight from a trace file.
+
+        The interactive loop wants time-to-first-pixel, so by default
+        the trace is opened through the memory-mapped columnar cache
+        (``read_trace(path, cache=True)``): the first open parses once
+        and writes the ``.ostc`` sidecar, every later open maps it back
+        in milliseconds.  ``cache=False`` parses into a (non-mapped)
+        columnar store instead; either way the session holds a store
+        every analysis and render entry point accepts.
+        """
+        from .trace_format import read_trace
+        if cache:
+            trace = read_trace(path, cache=cache)
+        else:
+            trace = read_trace(path, columnar=True)
+        return cls(trace, width=width, height=height)
+
     # -- navigation ---------------------------------------------------
     def _move(self, view):
         self._history.append(self.view)

@@ -5,6 +5,8 @@ reading, synthetic trace files — are documented in
 ``docs/trace-format.md`` and ``docs/architecture.md``.
 """
 
+from .cache import (CacheError, StaleCacheError, default_cache_path,
+                    load_cache, write_cache)
 from .chunked import (ChunkEntry, ChunkIndex, ScanStats,
                       read_chunk_index, read_window_columnar,
                       stream_window_records)
@@ -20,7 +22,9 @@ from .synthesize import write_synthetic_trace
 from .writer import (DEFAULT_CHUNK_RECORDS, IndexedTraceWriter,
                      TraceWriter, write_trace)
 
-__all__ = ["ChunkEntry", "ChunkIndex", "ScanStats", "read_chunk_index",
+__all__ = ["CacheError", "StaleCacheError", "default_cache_path",
+           "load_cache", "write_cache",
+           "ChunkEntry", "ChunkIndex", "ScanStats", "read_chunk_index",
            "read_window_columnar", "stream_window_records",
            "codec_for_path", "open_trace_file",
            "FormatError", "MAGIC", "RecordTag", "VERSION",

@@ -1,0 +1,256 @@
+"""Memory-mapped columnar trace cache (the ``.ostc`` sidecar).
+
+Parsing a trace file rebuilds the Section VI-B-c arrays — one sorted
+structured array per core and per record kind — from scratch on every
+open, which dominates the time-to-first-pixel of an interactive
+session.  This module persists a :class:`~repro.core.columnar.
+ColumnarTrace` *in its final memory layout*: a small JSON header (the
+static records plus an array manifest) followed by the raw bytes of
+every lane, 64-byte aligned.  Reopening maps the file with
+``np.memmap`` and wraps the manifest's byte ranges as structured-array
+views — no parsing, no copying, and no page is read until a query
+slices into it.  Combined with
+:meth:`~repro.core.columnar.ColumnarTrace.slice_time_window`, a
+windowed query on a cached million-event trace touches only the pages
+of the binary-searched slices.
+
+Entry points:
+
+* :func:`write_cache` — serialize a trace (either store) to a sidecar;
+* :func:`load_cache` — map a sidecar back as a ``ColumnarTrace``;
+* :func:`default_cache_path` — the conventional sidecar location;
+* ``read_trace(path, cache=True)`` — the convenience wrapper in
+  :mod:`repro.trace_format.reader`: load the sidecar when fresh,
+  otherwise parse once and write it through.
+
+The sidecar remembers the source file's size and mtime; a cache that
+no longer matches its trace file is reported as
+:class:`StaleCacheError` and transparently rebuilt by the wrapper.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+
+import numpy as np
+
+from ..core.columnar import (ACCESS_DTYPE, COMM_DTYPE, COUNTER_DTYPE,
+                             ColumnarTrace, DISCRETE_DTYPE, STATE_DTYPE,
+                             TASK_DTYPE)
+from ..core.events import (CounterDescription, RegionInfo, TaskTypeInfo,
+                           TopologyInfo)
+from .format import FormatError
+
+#: Sidecar file magic ("Ostc" = OST columnar) and format version.
+CACHE_MAGIC = b"OSTC"
+CACHE_VERSION = 1
+
+#: Fixed-size prefix before the JSON header: magic, version, header
+#: length in bytes.
+_PREFIX = struct.Struct("<4sIQ")
+
+#: Every array blob starts on a 64-byte boundary (cache-line aligned,
+#: and a multiple of every lane dtype's itemsize).
+ALIGNMENT = 64
+
+#: Per-core lane stacks in serialization order, with their dtypes.
+_STACKS = (("states", STATE_DTYPE), ("tasks", TASK_DTYPE),
+           ("discrete", DISCRETE_DTYPE), ("comm", COMM_DTYPE),
+           ("accesses", ACCESS_DTYPE))
+
+
+class CacheError(FormatError):
+    """The sidecar exists but cannot be used (corrupt/incompatible)."""
+
+
+class StaleCacheError(CacheError):
+    """The sidecar does not match the current source trace file."""
+
+
+def default_cache_path(trace_path):
+    """The conventional sidecar location: ``trace.ost`` -> ``trace.ostc``
+    (any other name just gains an ``.ostc`` suffix)."""
+    trace_path = str(trace_path)
+    if trace_path.endswith(".ost"):
+        return trace_path + "c"
+    return trace_path + ".ostc"
+
+
+def _align(offset):
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+def _dtype_descr(dtype):
+    """A JSON-stable dtype description (lists, not tuples)."""
+    return json.loads(json.dumps(dtype.descr))
+
+
+def _source_stamp(source_path):
+    info = os.stat(source_path)
+    return {"size": int(info.st_size), "mtime_ns": int(info.st_mtime_ns)}
+
+
+def write_cache(trace, cache_path, source_path=None, source_stamp=None):
+    """Serialize ``trace`` (either store) to an ``.ostc`` sidecar.
+
+    ``source_path``, when given, stamps the sidecar with the trace
+    file's size and mtime so :func:`load_cache` can detect staleness.
+    ``source_stamp`` overrides the stat with a stamp taken earlier —
+    callers that parsed the trace first (``read_trace(cache=True)``)
+    pass the *pre-parse* stamp, so a source file modified during the
+    parse makes the sidecar stale instead of freshly mis-stamped.
+    Returns the number of bytes written.
+    """
+    columnar = trace.to_columnar()
+    blobs = []            # (offset-in-data-section, bytes)
+    manifest = {}
+    cursor = 0
+
+    def add_blob(lane):
+        nonlocal cursor
+        data = np.ascontiguousarray(lane).tobytes()
+        offset = cursor
+        blobs.append((offset, data))
+        cursor = _align(offset + len(data))
+        return {"offset": offset, "count": int(len(lane))}
+
+    manifest["states"] = [add_blob(lane)
+                          for lane in columnar.states.lanes]
+    manifest["tasks"] = [add_blob(lane) for lane in columnar.tasks.lanes]
+    manifest["discrete"] = [add_blob(lane)
+                            for lane in columnar.discrete.lanes]
+    manifest["comm"] = [add_blob(lane)
+                        for lane in columnar.comm_lanes.lanes]
+    manifest["accesses"] = [add_blob(lane)
+                            for lane in columnar.access_lanes.lanes]
+    manifest["counters"] = [
+        dict(add_blob(columnar.counter_lanes[key]), core=int(key[0]),
+             counter_id=int(key[1]))
+        for key in sorted(columnar.counter_lanes)]
+
+    header = {
+        "version": CACHE_VERSION,
+        "topology": {"num_nodes": columnar.topology.num_nodes,
+                     "cores_per_node": columnar.topology.cores_per_node,
+                     "name": columnar.topology.name},
+        "counter_descriptions": [
+            {"counter_id": description.counter_id,
+             "name": description.name,
+             "monotone": bool(description.monotone)}
+            for description in columnar.counter_descriptions],
+        "task_types": [
+            {"type_id": info.type_id, "name": info.name,
+             "address": info.address, "source_file": info.source_file,
+             "source_line": info.source_line}
+            for info in columnar.task_types],
+        "regions": [
+            {"region_id": info.region_id, "address": info.address,
+             "size": info.size, "page_nodes": list(info.page_nodes),
+             "name": info.name}
+            for info in columnar.regions],
+        "time_bounds": [int(columnar.begin), int(columnar.end)],
+        "dtypes": {name: _dtype_descr(dtype)
+                   for name, dtype in _STACKS + (("counter",
+                                                  COUNTER_DTYPE),)},
+        "manifest": manifest,
+    }
+    if source_stamp is not None:
+        header["source"] = dict(source_stamp)
+    elif source_path is not None:
+        header["source"] = _source_stamp(source_path)
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    data_start = _align(_PREFIX.size + len(header_bytes))
+    with open(cache_path, "wb") as stream:
+        stream.write(_PREFIX.pack(CACHE_MAGIC, CACHE_VERSION,
+                                  len(header_bytes)))
+        stream.write(header_bytes)
+        position = _PREFIX.size + len(header_bytes)
+        for offset, data in blobs:
+            absolute = data_start + offset
+            stream.write(b"\0" * (absolute - position))
+            stream.write(data)
+            position = absolute + len(data)
+        return position
+
+
+def _read_header(cache_path):
+    """(header dict, data-section start offset) of a sidecar file."""
+    with open(cache_path, "rb") as stream:
+        prefix = stream.read(_PREFIX.size)
+        if len(prefix) != _PREFIX.size:
+            raise CacheError("cache file too small: " + str(cache_path))
+        magic, version, header_length = _PREFIX.unpack(prefix)
+        if magic != CACHE_MAGIC:
+            raise CacheError("not a columnar trace cache (bad magic)")
+        if version != CACHE_VERSION:
+            raise CacheError(
+                "unsupported cache version {}".format(version))
+        header_bytes = stream.read(header_length)
+        if len(header_bytes) != header_length:
+            raise CacheError("truncated cache header")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except ValueError as error:
+        raise CacheError("corrupt cache header: {}".format(error))
+    return header, _align(_PREFIX.size + header_length)
+
+
+def load_cache(cache_path, source_path=None):
+    """Map an ``.ostc`` sidecar as a :class:`ColumnarTrace`.
+
+    The returned store's lanes are read-only views into one
+    ``np.memmap`` over the file; nothing is parsed or copied, and only
+    the pages a later query slices are ever faulted in.  When
+    ``source_path`` is given and the sidecar carries a source stamp, a
+    size/mtime mismatch raises :class:`StaleCacheError`.
+    """
+    header, data_start = _read_header(cache_path)
+    if source_path is not None and "source" in header:
+        if header["source"] != _source_stamp(source_path):
+            raise StaleCacheError(
+                "cache {} is stale for {}".format(cache_path, source_path))
+    expected = {name: _dtype_descr(dtype)
+                for name, dtype in _STACKS + (("counter", COUNTER_DTYPE),)}
+    if header.get("dtypes") != expected:
+        raise CacheError("cache lane dtypes do not match this version")
+    topology = TopologyInfo(**header["topology"])
+    manifest = header["manifest"]
+    for name in ("states", "tasks", "discrete", "comm", "accesses"):
+        if len(manifest[name]) != topology.num_cores:
+            raise CacheError("cache manifest does not cover every core")
+
+    mapped = np.memmap(cache_path, dtype=np.uint8, mode="r")
+
+    def lane_view(entry, dtype):
+        offset = data_start + entry["offset"]
+        nbytes = entry["count"] * dtype.itemsize
+        if offset + nbytes > len(mapped):
+            raise CacheError("cache manifest points past end of file")
+        return mapped[offset:offset + nbytes].view(dtype)
+
+    lanes = {name: [lane_view(entry, dtype)
+                    for entry in manifest[name]]
+             for name, dtype in _STACKS}
+    counter_lanes = {
+        (entry["core"], entry["counter_id"]):
+            lane_view(entry, COUNTER_DTYPE)
+        for entry in manifest["counters"]}
+    return ColumnarTrace(
+        topology=topology,
+        states=lanes["states"], tasks=lanes["tasks"],
+        discrete=lanes["discrete"], comm=lanes["comm"],
+        accesses=lanes["accesses"], counter_lanes=counter_lanes,
+        counter_descriptions=[CounterDescription(**entry)
+                              for entry in
+                              header["counter_descriptions"]],
+        task_types=[TaskTypeInfo(**entry)
+                    for entry in header["task_types"]],
+        regions=[RegionInfo(region_id=entry["region_id"],
+                            address=entry["address"],
+                            size=entry["size"],
+                            page_nodes=tuple(entry["page_nodes"]),
+                            name=entry["name"])
+                 for entry in header["regions"]],
+        time_bounds=header["time_bounds"])

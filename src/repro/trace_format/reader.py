@@ -127,7 +127,7 @@ def _skip_chunk_index(stream):
         raise fmt.FormatError("corrupt chunk-index trailer")
 
 
-def read_trace(path, columnar=False):
+def read_trace(path, columnar=False, cache=None):
     """Load a trace file and return the indexed trace.
 
     ``columnar=False`` (the default) returns the object-model
@@ -136,7 +136,35 @@ def read_trace(path, columnar=False):
     :class:`~repro.core.columnar.ColumnarTrace`, filling the arrays
     directly while parsing — no per-event objects, and no whole-file
     record buffering.
+
+    ``cache`` enables the memory-mapped columnar sidecar
+    (:mod:`repro.trace_format.cache`): ``True`` uses the conventional
+    ``.ostc`` path next to the trace, a string/path names it
+    explicitly.  A fresh sidecar is mapped back in milliseconds
+    (no parsing; pages load lazily); a missing, stale or corrupt one
+    triggers a single parse that writes the sidecar through for the
+    next open.  With ``cache`` set the result is always the columnar
+    store.
     """
+    if cache:
+        from .cache import (CacheError, _source_stamp,
+                            default_cache_path, load_cache, write_cache)
+        cache_path = (default_cache_path(path) if cache is True
+                      else str(cache))
+        try:
+            return load_cache(cache_path, source_path=path)
+        except (OSError, CacheError):
+            pass
+        # Stamp the source *before* the (slow) parse: if the trace file
+        # changes while parsing, the sidecar must come out stale, not
+        # freshly stamped over wrong data.
+        stamp = _source_stamp(path)
+        trace = read_trace(path, columnar=True)
+        try:
+            write_cache(trace, cache_path, source_stamp=stamp)
+        except OSError:
+            pass            # unwritable location: serve the parse
+        return trace
     with open_trace_file(path, "rb") as raw:
         return read_trace_stream(raw, columnar=columnar)
 

@@ -364,7 +364,7 @@ def streaming_task_histogram(path, bins, value_range, columnar=False):
 
 
 def split_time_window(path, start, end, use_index=True, stats=None,
-                      columnar=False):
+                      columnar=False, cache=None):
     """Extract [start, end) of a huge trace into an in-memory trace.
 
     Static records are kept in full; event records are dropped unless
@@ -379,7 +379,18 @@ def split_time_window(path, start, end, use_index=True, stats=None,
     bytes the extraction actually read.  ``columnar=True`` assembles a
     :class:`~repro.core.columnar.ColumnarTrace` instead of a
     :class:`Trace`, without materializing per-event objects.
+
+    ``cache`` (columnar only) serves the window as a zero-copy slice
+    of the memory-mapped ``.ostc`` sidecar when one is fresh — see
+    :func:`repro.trace_format.chunked.read_window_columnar`.
     """
+    if cache:
+        if not columnar:
+            raise ValueError("cache-served windows are columnar; pass "
+                             "columnar=True")
+        from .chunked import read_window_columnar
+        return read_window_columnar(path, start, end, stats=stats,
+                                    cache=cache)
     if use_index:
         from .chunked import stream_window_records
         records = stream_window_records(path, start, end, stats=stats)

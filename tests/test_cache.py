@@ -1,0 +1,171 @@
+"""Tests for the memory-mapped columnar trace cache (``.ostc``)."""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import traces_equal
+from repro.session import AnalysisSession
+from repro.trace_format import (CacheError, StaleCacheError,
+                                default_cache_path, load_cache,
+                                read_trace, split_time_window,
+                                write_cache, write_trace)
+from trace_gen import make_random_trace
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    trace = make_random_trace(11, events_per_core=30)
+    path = str(tmp_path / "trace.ost")
+    write_trace(trace, path, chunk_records=64)
+    return path, trace
+
+
+class TestDefaultCachePath:
+    def test_ost_suffix_becomes_ostc(self):
+        assert default_cache_path("runs/trace.ost") == "runs/trace.ostc"
+
+    def test_other_names_gain_suffix(self):
+        assert default_cache_path("trace.bin") == "trace.bin.ostc"
+
+
+class TestReadTraceCache:
+    def test_first_open_writes_sidecar(self, trace_file):
+        path, trace = trace_file
+        sidecar = default_cache_path(path)
+        assert not os.path.exists(sidecar)
+        opened = read_trace(path, cache=True)
+        assert os.path.exists(sidecar)
+        assert traces_equal(opened, trace)
+
+    def test_second_open_serves_the_map(self, trace_file):
+        path, trace = trace_file
+        read_trace(path, cache=True)
+        mapped = read_trace(path, cache=True)
+        assert isinstance(mapped.states.lane(0).base, np.memmap)
+        assert traces_equal(mapped, trace)
+
+    def test_explicit_cache_path(self, trace_file, tmp_path):
+        path, trace = trace_file
+        sidecar = str(tmp_path / "elsewhere.ostc")
+        read_trace(path, cache=sidecar)
+        assert os.path.exists(sidecar)
+        assert traces_equal(load_cache(sidecar), trace)
+
+    def test_stale_sidecar_is_rebuilt(self, trace_file):
+        path, __ = trace_file
+        read_trace(path, cache=True)
+        time.sleep(0.01)
+        replacement = make_random_trace(12, events_per_core=25)
+        write_trace(replacement, path, chunk_records=64)
+        with pytest.raises(StaleCacheError):
+            load_cache(default_cache_path(path), source_path=path)
+        assert traces_equal(read_trace(path, cache=True), replacement)
+
+    def test_pre_parse_stamp_marks_mid_parse_changes_stale(
+            self, trace_file):
+        """The sidecar is stamped with the source's *pre-parse* size
+        and mtime: if the trace file changes while the parse runs, the
+        sidecar must come out stale rather than freshly stamped over
+        wrong data."""
+        path, trace = trace_file
+        stale_stamp = {"size": os.path.getsize(path) + 1,
+                       "mtime_ns": 0}          # "the file moved on"
+        sidecar = default_cache_path(path)
+        write_cache(trace, sidecar, source_stamp=stale_stamp)
+        with pytest.raises(StaleCacheError):
+            load_cache(sidecar, source_path=path)
+
+    def test_corrupt_sidecar_is_rejected_and_rebuilt(self, trace_file):
+        path, trace = trace_file
+        sidecar = default_cache_path(path)
+        with open(sidecar, "wb") as stream:
+            stream.write(b"not a cache at all")
+        with pytest.raises(CacheError):
+            load_cache(sidecar)
+        assert traces_equal(read_trace(path, cache=True), trace)
+
+    def test_mapped_lanes_are_views_not_copies(self, trace_file):
+        """Two opens of the same sidecar map the same bytes — the lane
+        arrays alias one flat buffer instead of holding copies."""
+        path, __ = trace_file
+        read_trace(path, cache=True)
+        mapped = read_trace(path, cache=True)
+        lanes = [mapped.states.lane(core)
+                 for core in range(mapped.num_cores)]
+        bases = {id(lane.base) for lane in lanes if len(lane)}
+        assert len(bases) <= 1     # one shared memmap
+
+
+class TestTimeBounds:
+    def test_cached_bounds_match_parsed_bounds(self, trace_file):
+        path, trace = trace_file
+        read_trace(path, cache=True)
+        mapped = read_trace(path, cache=True)
+        assert (mapped.begin, mapped.end) == (trace.begin, trace.end)
+
+
+class TestSessionOpen:
+    def test_open_uses_the_cache(self, trace_file):
+        path, trace = trace_file
+        session = AnalysisSession.open(path, width=256, height=64)
+        assert os.path.exists(default_cache_path(path))
+        assert traces_equal(session.trace, trace)
+        assert (session.view.start, session.view.end) == (trace.begin,
+                                                          trace.end)
+        reopened = AnalysisSession.open(path, width=256, height=64)
+        assert isinstance(reopened.trace.states.lane(0).base, np.memmap)
+
+    def test_open_without_cache(self, trace_file):
+        path, trace = trace_file
+        session = AnalysisSession.open(path, cache=False)
+        assert not os.path.exists(default_cache_path(path))
+        assert traces_equal(session.trace, trace)
+
+
+class TestCacheWindows:
+    def test_split_time_window_requires_columnar(self, trace_file):
+        path, __ = trace_file
+        with pytest.raises(ValueError):
+            split_time_window(path, 0, 10, cache=True)
+
+    def test_cache_served_window_matches_scan(self, trace_file):
+        path, trace = trace_file
+        read_trace(path, cache=True)
+        span = trace.end - trace.begin
+        start = trace.begin + span // 3
+        end = trace.begin + (2 * span) // 3
+        assert traces_equal(
+            split_time_window(path, start, end, columnar=True,
+                              cache=True),
+            split_time_window(path, start, end))
+
+
+class TestMemoizedTrees:
+    def test_value_bounds_reuses_one_tree_per_core(self, trace_file):
+        """Regression for the per-frame rescan: repeated axis-scaling
+        calls must reuse the memoized min/max trees instead of
+        rebuilding them (or rescanning the samples) every frame."""
+        from repro.render import value_bounds
+        path, trace = trace_file
+        if not trace.counter_descriptions:
+            pytest.skip("trace without counters")
+        store = read_trace(path, columnar=True)
+        first = value_bounds(store, 0)
+        trees_after_first = dict(store._minmax_trees)
+        assert len(trees_after_first) == store.num_cores
+        assert value_bounds(store, 0) == first
+        assert store._minmax_trees == trees_after_first   # same objects
+        for key, tree in trees_after_first.items():
+            assert store._minmax_trees[key] is tree
+
+    def test_counter_index_shares_store_trees(self, trace_file):
+        from repro.core import CounterIndex
+        path, trace = trace_file
+        if not trace.counter_descriptions:
+            pytest.skip("trace without counters")
+        store = read_trace(path, columnar=True)
+        index = CounterIndex(store)
+        assert index.tree(0, 0) is store.minmax_tree(0, 0)

@@ -43,6 +43,18 @@ class TestSubcommands:
         cli.main(["report", trace_path])
         assert "average parallelism" in capsys.readouterr().out
 
+    def test_report_through_mapped_cache(self, cli, seidel_trace_small,
+                                         tmp_path, capsys):
+        from repro.trace_format import default_cache_path
+        path = str(tmp_path / "cached.ost")
+        write_trace(seidel_trace_small, path)
+        cli.main(["report", path, "--cache"])
+        first = capsys.readouterr().out
+        assert pathlib.Path(default_cache_path(path)).exists()
+        cli.main(["report", path, "--cache"])     # now served by mmap
+        assert capsys.readouterr().out == first
+        assert "average parallelism" in first
+
     def test_render_all_modes(self, cli, trace_path, tmp_path, capsys):
         for mode in ("state", "heatmap", "typemap", "numa-read",
                      "numa-write", "numa-heatmap"):

@@ -18,9 +18,14 @@ from repro.core import (AllTasks, CoreFilter, DurationFilter,
                         IntervalFilter, NumaNodeFilter, PredicateFilter,
                         TaskTypeFilter, WorkerState, filtered_tasks,
                         reference)
+from repro.core import anomalies, correlation
 from repro.core import index as core_index
 from repro.core import metrics, statistics
-from repro.render import StateMode, TimelineView, render_timeline
+from repro.core.derived import (AverageTaskDuration, DerivedMetricMenu,
+                                WorkersInState)
+from repro.render import (Framebuffer, StateMode, TimelineView,
+                          render_counter, render_discrete_events,
+                          render_matrix, render_timeline, value_bounds)
 from trace_gen import make_random_trace
 
 SEEDS = (1, 2, 3)
@@ -326,3 +331,161 @@ class TestRenderParity:
         object_fb = render_timeline(trace, StateMode(), view)
         columnar_fb = render_timeline(columnar, StateMode(), view)
         assert np.array_equal(object_fb.pixels, columnar_fb.pixels)
+
+
+class TestOverlayParity:
+    """The vectorized overlay kernels must draw the exact pixels (and
+    issue the exact draw-call counts) of the scalar reference loops,
+    on both stores, across zoom levels."""
+
+    def overlay_views(self, trace):
+        base = TimelineView.fit(trace, width=150,
+                                height=5 * trace.num_cores)
+        yield base
+        yield base.zoom(4)
+        yield base.zoom(4).scroll(0.4)
+        # Zoomed below one cycle per pixel: the scalar fallback path.
+        yield base.zoom(max(trace.duration, 2))
+
+    def test_counter_overlay_pixels_identical(self, pair):
+        trace, columnar = pair
+        if not trace.counter_descriptions:
+            pytest.skip("trace without counters")
+        for view in self.overlay_views(trace):
+            for core in range(trace.num_cores):
+                frames = {}
+                for label, target, kwargs in (
+                        ("scalar", trace, {"vectorized": False}),
+                        ("object", trace, {}),
+                        ("columnar", columnar, {})):
+                    fb = Framebuffer(view.width, view.height)
+                    calls = render_counter(target, 0, view, fb,
+                                           core=core, **kwargs)
+                    frames[label] = (calls, fb.pixels)
+                reference_calls, reference_pixels = frames["scalar"]
+                for label in ("object", "columnar"):
+                    calls, pixels = frames[label]
+                    assert calls == reference_calls, (label, view)
+                    assert np.array_equal(pixels, reference_pixels), \
+                        (label, view)
+
+    def test_derived_series_overlay_identical(self, pair):
+        from repro.render import render_derived_series
+        trace, columnar = pair
+        for store in (trace, columnar):
+            series = AverageTaskDuration().materialize(store,
+                                                       num_intervals=60)
+            for view in self.overlay_views(trace):
+                scalar_fb = Framebuffer(view.width, view.height)
+                scalar_calls = render_derived_series(
+                    series, view, scalar_fb, vectorized=False)
+                vector_fb = Framebuffer(view.width, view.height)
+                vector_calls = render_derived_series(series, view,
+                                                     vector_fb)
+                assert vector_calls == scalar_calls, view
+                assert np.array_equal(vector_fb.pixels,
+                                      scalar_fb.pixels), view
+
+    def test_value_bounds_matches_reference(self, pair):
+        trace, columnar = pair
+        if not trace.counter_descriptions:
+            pytest.skip("trace without counters")
+        expected = reference.counter_value_bounds(trace, 0)
+        assert value_bounds(trace, 0) == expected
+        assert value_bounds(columnar, 0) == expected
+
+    def test_discrete_event_overlay_identical(self, pair):
+        trace, columnar = pair
+        view = TimelineView.fit(trace, width=120,
+                                height=4 * trace.num_cores)
+        results = {}
+        for label, target, kwargs in (
+                ("scalar", trace, {"vectorized": False}),
+                ("object", trace, {}),
+                ("columnar", columnar, {})):
+            fb = Framebuffer(view.width, view.height)
+            markers = render_discrete_events(target, view, fb, **kwargs)
+            results[label] = (markers, fb.pixels)
+        markers, pixels = results["scalar"]
+        for label in ("object", "columnar"):
+            assert results[label][0] == markers
+            assert np.array_equal(results[label][1], pixels)
+
+    def test_matrix_render_identical(self, pair):
+        trace, columnar = pair
+        matrix = statistics.steal_matrix(trace).astype(np.float64)
+        expected = render_matrix(matrix, vectorized=False).pixels
+        assert np.array_equal(render_matrix(matrix).pixels, expected)
+        assert np.array_equal(
+            render_matrix(statistics.steal_matrix(columnar)
+                          .astype(np.float64)).pixels, expected)
+
+
+class TestAnomalyParity:
+    def test_bin_scans_match_reference(self, pair):
+        trace, columnar = pair
+        for store in (trace, columnar):
+            assert (anomalies.detect_load_imbalance(store)
+                    == reference.detect_load_imbalance(trace))
+            assert (anomalies.detect_locality_anomalies(store)
+                    == reference.detect_locality_anomalies(trace))
+
+    def test_full_scan_identical_across_stores(self, pair):
+        trace, columnar = pair
+        assert anomalies.scan(trace) == anomalies.scan(columnar)
+
+
+class TestCorrelationParity:
+    def test_counter_increase_matches_reference(self, pair):
+        trace, columnar = pair
+        if not trace.counter_descriptions:
+            pytest.skip("trace without counters")
+        __, expected = reference.counter_increase_per_task(trace, 0)
+        for store in (trace, columnar):
+            __, increases = correlation.counter_increase_per_task(store,
+                                                                  0)
+            assert np.array_equal(increases, expected)
+
+    def test_filtered_increase_matches_reference(self, pair):
+        trace, columnar = pair
+        if not trace.counter_descriptions:
+            pytest.skip("trace without counters")
+        task_filter = DurationFilter(minimum=20)
+        __, expected = reference.counter_increase_per_task(
+            trace, 0, task_filter)
+        for store in (trace, columnar):
+            __, increases = correlation.counter_increase_per_task(
+                store, 0, task_filter)
+            assert np.array_equal(increases, expected)
+
+    def test_export_identical_across_stores(self, pair, tmp_path):
+        trace, columnar = pair
+        if not trace.counter_descriptions:
+            pytest.skip("trace without counters")
+        counters = [trace.counter_descriptions[0].name]
+        object_path = tmp_path / "object.csv"
+        columnar_path = tmp_path / "columnar.csv"
+        rows = correlation.export_task_table(trace, str(object_path),
+                                             counters=counters)
+        assert rows == correlation.export_task_table(
+            columnar, str(columnar_path), counters=counters)
+        assert object_path.read_text() == columnar_path.read_text()
+
+
+class TestDerivedParity:
+    def test_materialized_series_identical(self, pair):
+        trace, columnar = pair
+        menu = DerivedMetricMenu()
+        menu.add(WorkersInState(state=int(WorkerState.IDLE)))
+        menu.add(AverageTaskDuration())
+        menu.add(AverageTaskDuration().derivative(), name="derivative")
+        menu.add(WorkersInState(state=int(WorkerState.RUNNING))
+                 / AverageTaskDuration(), name="ratio")
+        object_series = menu.materialize_all(trace, num_intervals=40)
+        columnar_series = menu.materialize_all(columnar,
+                                               num_intervals=40)
+        assert sorted(object_series) == sorted(columnar_series)
+        for name, series in object_series.items():
+            other = columnar_series[name]
+            assert np.array_equal(series.edges, other.edges), name
+            assert np.array_equal(series.values, other.values), name

@@ -56,6 +56,8 @@ def test_quickstart_example_runs_and_covers_both_stores(tmp_path,
     assert "columnar statistics identical to object statistics: True" \
         in out
     assert "columnar reload matches conversion: True" in out
+    assert "matches parsed store: True" in out
+    assert (tmp_path / "quickstart.ostc").exists()
     assert (tmp_path / "quickstart_states.ppm").exists()
 
 

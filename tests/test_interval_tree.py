@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import CounterIndex, MinMaxTree
+from repro.core import CounterIndex, MinMaxTree, segment_minmax
 
 
 class TestMinMaxTree:
@@ -91,3 +91,57 @@ class TestCounterIndex:
         first = index.tree(0, counter_id)
         second = index.tree(0, counter_id)
         assert first is second
+
+
+class TestQuerySegments:
+    """The batched kernel must equal per-segment scalar queries on
+    both of its internal paths (flat leaf pass and tree-level walk)."""
+
+    def reference(self, values, boundaries):
+        mins, maxs = [], []
+        for index in range(len(boundaries) - 1):
+            window = values[boundaries[index]:boundaries[index + 1]]
+            mins.append(window.min() if len(window) else np.nan)
+            maxs.append(window.max() if len(window) else np.nan)
+        return np.asarray(mins), np.asarray(maxs)
+
+    def test_matches_scalar_queries_randomized(self):
+        rng = np.random.default_rng(7)
+        for __ in range(40):
+            count = int(rng.integers(1, 2000))
+            arity = int(rng.integers(2, 10))
+            values = rng.normal(size=count) * 1e6
+            tree = MinMaxTree(values, arity=arity)
+            boundaries = np.sort(rng.integers(0, count + 1,
+                                              size=int(rng.integers(2,
+                                                                    40))))
+            mins, maxs = tree.query_segments(boundaries)
+            want_min, want_max = self.reference(values, boundaries)
+            assert np.array_equal(mins, want_min, equal_nan=True)
+            assert np.array_equal(maxs, want_max, equal_nan=True)
+
+    def test_wide_spans_take_the_tree_walk(self):
+        """A span far wider than 2 * segments * arity exercises the
+        hierarchical branch; results must still equal the leaf scan."""
+        rng = np.random.default_rng(8)
+        values = rng.normal(size=200_000)
+        tree = MinMaxTree(values, arity=4)
+        boundaries = np.linspace(0, len(values), 17).astype(np.int64)
+        assert len(values) > 2 * 16 * tree.arity
+        mins, maxs = tree.query_segments(boundaries)
+        flat_min, flat_max = segment_minmax(values, boundaries)
+        assert np.array_equal(mins, flat_min)
+        assert np.array_equal(maxs, flat_max)
+
+    def test_empty_segments_are_nan(self):
+        tree = MinMaxTree(np.asarray([1.0, 5.0, 3.0]), arity=2)
+        mins, maxs = tree.query_segments(np.asarray([0, 0, 2, 2, 3]))
+        assert np.isnan(mins[0]) and np.isnan(mins[2])
+        assert (mins[1], maxs[1]) == (1.0, 5.0)
+        assert (mins[3], maxs[3]) == (3.0, 3.0)
+
+    def test_empty_tree(self):
+        tree = MinMaxTree(np.empty(0), arity=3)
+        mins, maxs = tree.query_segments(np.asarray([0, 0, 0]))
+        assert np.isnan(mins).all() and np.isnan(maxs).all()
+        assert tree.bounds() is None

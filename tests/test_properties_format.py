@@ -8,12 +8,13 @@ object <-> columnar conversions are lossless.  The oracle is
 exactly (including counter-sample floats).
 """
 
+import numpy as np
 import pytest
 
 from repro.core import traces_equal
-from repro.trace_format import (read_chunk_index, read_trace,
+from repro.trace_format import (load_cache, read_chunk_index, read_trace,
                                 read_window_columnar, split_time_window,
-                                write_trace)
+                                write_cache, write_trace)
 from trace_gen import make_random_trace
 
 SEEDS = range(6)
@@ -88,3 +89,60 @@ class TestWindowExtraction:
             split_time_window(path, start, end, columnar=True), window)
         assert traces_equal(read_window_columnar(path, start, end),
                             window)
+
+
+class TestMappedCache:
+    """The ``.ostc`` sidecar: lossless round trip, and the mapped store
+    must be indistinguishable from the parsed one."""
+
+    def test_cache_round_trip_preserves_every_record(self, random_trace,
+                                                     tmp_path):
+        cache_path = str(tmp_path / "trace.ostc")
+        write_cache(random_trace, cache_path)
+        assert traces_equal(load_cache(cache_path), random_trace)
+
+    def test_sparse_traces_round_trip_through_cache(self, tmp_path):
+        for seed in SEEDS:
+            trace = make_random_trace(seed, sparse=True)
+            cache_path = str(tmp_path / "sparse_{}.ostc".format(seed))
+            write_cache(trace, cache_path)
+            assert traces_equal(load_cache(cache_path), trace)
+
+    def test_mapped_store_equals_parsed_store(self, random_trace,
+                                              tmp_path):
+        """Every analysis surface gives bit-identical answers on the
+        memory-mapped store and the freshly parsed columnar store."""
+        from repro.core import statistics
+        from repro.core.anomalies import scan
+        path = str(tmp_path / "trace.ost")
+        write_trace(random_trace, path, chunk_records=64)
+        parsed = read_trace(path, columnar=True)
+        mapped = read_trace(path, cache=True)   # writes, then maps
+        mapped = read_trace(path, cache=True)   # second open: the map
+        assert traces_equal(mapped, parsed)
+        assert mapped.begin == parsed.begin and mapped.end == parsed.end
+        assert (statistics.interval_report(mapped).describe()
+                == statistics.interval_report(parsed).describe())
+        assert scan(mapped) == scan(parsed)
+        assert np.array_equal(
+            statistics.communication_matrix(mapped),
+            statistics.communication_matrix(parsed))
+
+    def test_window_slice_equals_split_time_window(self, random_trace,
+                                                   tmp_path):
+        path = str(tmp_path / "trace.ost")
+        write_trace(random_trace, path, chunk_records=64)
+        read_trace(path, cache=True)            # writes the sidecar
+        mapped = read_trace(path, cache=True)   # the actual memmap
+        assert isinstance(mapped.states.lane(0).base, np.memmap)
+        span = random_trace.end - random_trace.begin
+        for lo_num, hi_num in ((0, 4), (1, 3), (2, 4), (0, 1)):
+            start = random_trace.begin + span * lo_num // 4
+            end = random_trace.begin + max(span * hi_num // 4,
+                                           span * lo_num // 4 + 1)
+            window = split_time_window(path, start, end)
+            assert traces_equal(mapped.slice_time_window(start, end),
+                                window)
+            assert traces_equal(
+                read_window_columnar(path, start, end, cache=True),
+                window)

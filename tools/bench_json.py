@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Machine-readable perf trajectory: merge benchmark timings into a
+JSON file at the repository root.
+
+The per-figure benchmarks write human-readable series to
+``benchmarks/results/``; this helper adds the machine-readable side —
+a single ``BENCH_PR4.json`` keyed by benchmark name, with one flat
+payload of timings/speedups per entry.  Benchmarks call
+:func:`record` (the benchmarks ``conftest.py`` puts ``tools/`` on
+``sys.path``); CI uploads the file as a workflow artifact, so every
+run leaves a comparable perf datapoint.
+
+Run directly to pretty-print the current trajectory:
+
+    python tools/bench_json.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_PATH = ROOT / "BENCH_PR4.json"
+
+
+def record(name, payload, path=None):
+    """Merge ``{name: payload}`` into the trajectory file.
+
+    ``payload`` must be JSON-serializable (flat dicts of floats/ints/
+    strings by convention).  Existing entries under other names are
+    preserved; recording the same name twice overwrites it.  Returns
+    the path written.
+    """
+    path = DEFAULT_PATH if path is None else pathlib.Path(path)
+    entries = {}
+    if path.exists():
+        try:
+            entries = json.loads(path.read_text())
+        except ValueError:
+            entries = {}
+    entries[str(name)] = payload
+    path.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main():
+    if not DEFAULT_PATH.exists():
+        print("no trajectory recorded yet:", DEFAULT_PATH)
+        return
+    print(DEFAULT_PATH)
+    print(json.dumps(json.loads(DEFAULT_PATH.read_text()), indent=2,
+                     sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()
