@@ -8,7 +8,6 @@ they find exactly the anomalies the paper's manual analyses found.
 Mapping: docs/paper-mapping.md.
 """
 
-import numpy as np
 
 from figutils import write_result
 from repro.core import TaskTypeFilter, correlate_counters, scan

@@ -21,10 +21,11 @@ synthetic million-event trace:
   bit-identical framebuffers across the object, columnar and
   memory-mapped stores.
 
-Timings land in ``benchmarks/results/`` (human-readable) and
-``BENCH_PR4.json`` at the repo root (machine-readable, uploaded as a
-CI artifact).  Speedup assertions are scale-gated: they hold at the
-``default``/``paper`` scales and are skipped at ``small``
+Timings land in ``benchmarks/results/`` (human-readable) and the
+``pr4`` section of ``BENCH_HISTORY.json`` at the repo root
+(machine-readable, uploaded as a CI artifact and enforced by
+``tools/perf_gate.py``).  Speedup assertions are scale-gated: they
+hold at the ``default``/``paper`` scales and are skipped at ``small``
 (``--self-test``), where constant overheads dominate.
 """
 
@@ -120,7 +121,7 @@ def test_cache_reopen_vs_cold_parse(scale, interactive_trace):
         "first_open_with_cache_write_s": write_seconds,
         "mapped_reopen_s": reopen_seconds,
         "reopen_speedup": speedup,
-    })
+    }, section="pr4")
     if scale != "small":
         assert speedup >= 5.0
 
@@ -172,7 +173,7 @@ def test_vectorized_frame_loop(scale, interactive_trace):
         "vectorized_s": vector_seconds,
         "vectorized_ms_per_frame": 1e3 * per_frame,
         "frame_speedup": speedup,
-    })
+    }, section="pr4")
     if scale != "small":
         assert speedup >= 10.0
 

@@ -7,7 +7,6 @@ idle phases seen on the timeline.
 Mapping: docs/paper-mapping.md.
 """
 
-import numpy as np
 
 from figutils import series, write_result
 from repro.core import WorkerState, state_count_series

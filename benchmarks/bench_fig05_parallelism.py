@@ -9,7 +9,6 @@ parallelism as the diagonal wave front grows (peak ~2400 near depth
 Mapping: docs/paper-mapping.md.
 """
 
-import numpy as np
 
 from figutils import series, write_result
 from repro.core import reconstruct_task_graph

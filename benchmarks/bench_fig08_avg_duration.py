@@ -7,7 +7,6 @@ execute.
 Mapping: docs/paper-mapping.md.
 """
 
-import numpy as np
 
 from figutils import series, write_result
 from repro.core import average_task_duration_series

@@ -7,7 +7,6 @@ tasks (ocher) — proving the long-running tasks are the initialization.
 Mapping: docs/paper-mapping.md.
 """
 
-import numpy as np
 
 from figutils import write_result
 from repro.core import IntervalFilter, TaskTypeFilter

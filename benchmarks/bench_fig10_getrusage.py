@@ -8,7 +8,6 @@ that first-touch physical page allocation makes the init tasks slow.
 Mapping: docs/paper-mapping.md.
 """
 
-import numpy as np
 
 from figutils import series, write_result
 from repro.core import aggregate_counter_series, discrete_derivative

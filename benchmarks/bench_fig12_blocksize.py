@@ -12,9 +12,7 @@ ratios relative to the sweep minimum next to the paper's ratios.
 Mapping: docs/paper-mapping.md.
 """
 
-import os
 
-import numpy as np
 import pytest
 
 from figutils import write_result

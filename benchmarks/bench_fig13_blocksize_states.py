@@ -10,12 +10,11 @@ causes idle phases at termination.
 Mapping: docs/paper-mapping.md.
 """
 
-import numpy as np
 import pytest
 
 from figutils import write_result
 from repro import experiments
-from repro.core import WorkerState, state_time_summary
+from repro.core import WorkerState
 from repro.render import StateMode, TimelineView, render_timeline
 
 

@@ -13,9 +13,8 @@ Mapping: docs/paper-mapping.md.
 import numpy as np
 
 from figutils import write_result
-from repro.core import (CounterIndex, TaskTypeFilter,
-                        counter_rate_per_task)
-from repro.render import (Framebuffer, HeatmapMode, TimelineView,
+from repro.core import TaskTypeFilter, counter_rate_per_task
+from repro.render import (HeatmapMode, TimelineView,
                           render_counter_rate, render_timeline)
 
 
@@ -32,7 +31,6 @@ def test_fig17_18_heatmap_with_mispred_overlay(benchmark,
 
     # Fig. 18: zoom into five CPUs and overlay the misprediction rate.
     zoom = view.zoom(8.0)
-    overlay = Framebuffer(zoom.width, zoom.height)
 
     def render_zoom_with_overlay():
         fb = render_timeline(trace, HeatmapMode(task_filter=compute),

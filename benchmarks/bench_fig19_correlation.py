@@ -11,7 +11,6 @@ and the standard deviation from 1.18 Mcycles to 335 Kcycles.
 Mapping: docs/paper-mapping.md.
 """
 
-import numpy as np
 
 from figutils import write_result
 from repro.core import (DurationFilter, TaskTypeFilter,

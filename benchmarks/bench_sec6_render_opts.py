@@ -10,7 +10,6 @@ Mapping: docs/paper-mapping.md.
 """
 
 import numpy as np
-import pytest
 
 from figutils import write_result
 from repro.core import CounterIndex

@@ -6,16 +6,21 @@ core.  Traces are the binary files written by
 :func:`repro.trace_format.write_trace` (optionally .gz/.bz2/.xz).
 
     python examples/aftermath_cli.py info trace.ost.gz
-    python examples/aftermath_cli.py report trace.ost.gz --start 0 --end 1000000
+    python examples/aftermath_cli.py report trace.ost.gz --start 0 \
+        --end 1000000
     python examples/aftermath_cli.py render trace.ost.gz out.ppm --mode heatmap
     python examples/aftermath_cli.py parallelism trace.ost.gz
     python examples/aftermath_cli.py matrix trace.ost.gz
-    python examples/aftermath_cli.py export trace.ost.gz tasks.csv --type seidel_block
-    python examples/aftermath_cli.py dot trace.ost.gz graph.dot --task 17 --hops 2
+    python examples/aftermath_cli.py export trace.ost.gz tasks.csv \
+        --type seidel_block
+    python examples/aftermath_cli.py dot trace.ost.gz graph.dot \
+        --task 17 --hops 2
     python examples/aftermath_cli.py anomalies trace.ost.gz
     python examples/aftermath_cli.py profile trace.ost.gz
     python examples/aftermath_cli.py critical-path trace.ost.gz
     python examples/aftermath_cli.py task trace.ost.gz 17
+    python examples/aftermath_cli.py compare base.ost cand.ost
+    python examples/aftermath_cli.py sweep a.ost b.ost c.ost d.ost
 
 (Generate a trace first, e.g. with examples/quickstart.py.)
 """
@@ -160,6 +165,50 @@ def cmd_task(args):
     print(task_details(trace, args.task_id).describe())
 
 
+def cmd_compare(args):
+    """Diff a candidate trace against a baseline (experiment engine)."""
+    from repro.analysis.experiments import (DiffTolerances,
+                                            diff_trace_files)
+    tolerances = DiffTolerances(relative=args.relative,
+                                absolute=args.absolute,
+                                distribution=args.distribution,
+                                anomalies=args.anomalies)
+    report = diff_trace_files(args.baseline, args.candidate,
+                              tolerances=tolerances,
+                              cache=not args.no_cache)
+    print(report.describe())
+    if args.json:
+        report.to_json(args.json)
+        print("wrote", args.json)
+    if args.strict and not report.is_empty:
+        sys.exit(1)
+
+
+def cmd_sweep(args):
+    """Analyze N traces through the pooled experiment engine and
+    print the cross-trace summary table."""
+    import json as json_module
+
+    from repro.analysis.experiments import analyze_traces, sweep_table
+    summaries = analyze_traces(args.traces, workers=args.workers,
+                               cache=not args.no_cache)
+    table = sweep_table(summaries, param=args.param)
+    print(table.describe())
+    best = table.best()
+    print("\nbest duration: {} ({} cycles)".format(best.name,
+                                                   best.duration))
+    print("merged across {} traces: {} records, {} tasks".format(
+        len(summaries),
+        sum(summary.records for summary in summaries),
+        sum(summary.tasks for summary in summaries)))
+    if args.json:
+        with open(args.json, "w") as stream:
+            json_module.dump(table.to_dict(), stream, indent=2,
+                             sort_keys=True)
+            stream.write("\n")
+        print("wrote", args.json)
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     commands = parser.add_subparsers(dest="command", required=True)
@@ -210,6 +259,40 @@ def main(argv=None):
 
     task = with_trace("task", cmd_task)
     task.add_argument("task_id", type=int)
+
+    compare = commands.add_parser(
+        "compare", help="diff a candidate trace against a baseline")
+    compare.add_argument("baseline")
+    compare.add_argument("candidate")
+    compare.add_argument("--relative", type=float, default=0.05,
+                         help="relative tolerance on scalar metrics")
+    compare.add_argument("--absolute", type=float, default=0.0,
+                         help="absolute tolerance on zero-baseline "
+                              "metrics")
+    compare.add_argument("--distribution", type=float, default=0.1,
+                         help="tolerated L1 histogram distance (0..2)")
+    compare.add_argument("--anomalies", type=int, default=0,
+                         help="tolerated per-kind anomaly-count delta")
+    compare.add_argument("--json", default=None,
+                         help="write the machine-readable report here")
+    compare.add_argument("--strict", action="store_true",
+                         help="exit 1 when any deviation is reported")
+    compare.add_argument("--no-cache", action="store_true",
+                         help="parse instead of using .ostc sidecars")
+    compare.set_defaults(handler=cmd_compare)
+
+    sweep = commands.add_parser(
+        "sweep", help="pooled multi-trace analysis + summary table")
+    sweep.add_argument("traces", nargs="+")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: all cores)")
+    sweep.add_argument("--param", default=None,
+                       help="sweep-parameter name for the key column")
+    sweep.add_argument("--json", default=None,
+                       help="write the machine-readable table here")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="parse instead of using .ostc sidecars")
+    sweep.set_defaults(handler=cmd_sweep)
 
     args = parser.parse_args(argv)
     args.handler(args)

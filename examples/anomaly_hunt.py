@@ -35,7 +35,6 @@ def main():
         for finding in group[:3]:
             where = " cores {}".format(finding.cores) \
                 if finding.cores else ""
-            span = (finding.end - finding.start) / max(trace.duration, 1)
             print("    severity {:.2f} at {:.0%}..{:.0%} of the "
                   "execution{}: {}".format(
                       finding.severity,

@@ -2,7 +2,7 @@
 """Quickstart: simulate a task-parallel run, trace it, analyze it.
 
 This script is the runnable version of the README's quickstart.  It
-walks the full pipeline in eight steps:
+walks the full pipeline in nine steps:
 
 1. build a NUMA machine and the seidel task graph;
 2. execute it on the simulated work-stealing run-time with tracing;
@@ -18,7 +18,11 @@ walks the full pipeline in eight steps:
 8. write the *memory-mapped columnar cache* (the ``.ostc`` sidecar)
    and reopen the trace through it: the second open maps the arrays
    back instead of re-parsing, so an interactive session restarts in
-   milliseconds.
+   milliseconds;
+9. run a *two-trace compare* through the experiment engine: a second
+   run under another stealing seed is diffed against the first
+   (state-time deltas, distribution shifts, anomaly counts) and both
+   timelines render side by side on one shared time axis.
 
 Run:  python examples/quickstart.py [output-directory]
 """
@@ -136,6 +140,34 @@ def main(output_dir="."):
     window = mapped.slice_time_window(trace.begin,
                                       trace.begin + trace.duration // 10)
     print("zero-copy 10% window: {} tasks".format(len(window.tasks)))
+
+    # 9. Compare two runs: the same workload under a different
+    #    stealing seed, diffed through the experiment engine (the
+    #    layer behind `aftermath_cli compare` / `sweep`).  The program
+    #    is rebuilt so the second run first-touches its own pages —
+    #    reusing the executed one would inherit run 1's placements.
+    #    A self-diff is empty; two real runs deviate, and the report
+    #    says exactly where.
+    from repro.analysis.experiments import (
+        diff_traces, render_timelines_side_by_side)
+    rebuilt = build_seidel(machine, SeidelConfig(blocks=12,
+                                                 block_dim=64, steps=8))
+    __, other = run_program(rebuilt,
+                            RandomStealScheduler(machine, seed=7),
+                            collector=TraceCollector(machine))
+    report = diff_traces(trace, other, baseline_name="seed42",
+                         candidate_name="seed7")
+    print("\ntwo-trace compare (seed 42 vs seed 7):")
+    print("self-diff empty: {}".format(
+        diff_traces(trace, trace).is_empty))
+    print("deviations beyond tolerance: {}".format(len(report)))
+    for entry in report.entries[:3]:
+        print("  " + entry.describe())
+    panel = render_timelines_side_by_side([trace, other], width=1024,
+                                          lane_height=2)
+    panel_path = "{}/quickstart_compare.ppm".format(output_dir)
+    panel.save_ppm(panel_path)
+    print("side-by-side comparison written to", panel_path)
 
 
 if __name__ == "__main__":

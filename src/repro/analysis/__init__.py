@@ -3,8 +3,11 @@
 This package sits above :mod:`repro.trace_format` and below the
 interactive views in :mod:`repro.core`: it computes the same summary
 statistics as the in-memory paths, but from trace *files*, in bounded
-memory, sharded across worker processes.  See ``docs/architecture.md``
-for where it fits in the data flow.
+memory, sharded across worker processes.  The
+:mod:`repro.analysis.experiments` subpackage scales the sharding from
+one file to N: pooled parameter sweeps, cross-trace aggregation,
+baseline/candidate diff reports and comparison rendering.  See
+``docs/architecture.md`` for where it fits in the data flow.
 """
 
 from .parallel import (CommMatrixAccumulator, TaskHistogramAccumulator,

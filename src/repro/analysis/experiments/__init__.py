@@ -1,0 +1,53 @@
+"""Parallel multi-trace experiment engine.
+
+The comparative layer the paper's evaluation implies: run or ingest N
+traces (parameter sweeps over workloads, schedulers and block sizes —
+Figs. 12–19), analyze them through a worker pool that opens each file
+via the memory-mapped columnar cache, aggregate statistics across
+traces, diff a candidate against a baseline with configurable
+tolerances, and render side-by-side/overlay comparison panels.
+
+Modules:
+
+* :mod:`~repro.analysis.experiments.harness` — the single-run
+  harness (scale presets, run-time pairs, per-workload trace
+  builders); also importable as ``repro.experiments`` for
+  compatibility;
+* :mod:`~repro.analysis.experiments.suite` — sweep specs, the pooled
+  suite runner and per-trace summaries;
+* :mod:`~repro.analysis.experiments.aggregate` — exact cross-trace
+  accumulator merges and per-parameter summary tables;
+* :mod:`~repro.analysis.experiments.diff` — the baseline/candidate
+  regression reports (JSON-serializable);
+* :mod:`~repro.analysis.experiments.render` — comparison panels on
+  the shared framebuffer.
+"""
+
+from .aggregate import (SweepRow, SweepTable, merged_comm_matrix,
+                        merged_statistics, merged_task_histogram,
+                        speedup_curve, sweep_table)
+from .diff import (DiffEntry, DiffTolerances, EXACT, TraceDiffReport,
+                   diff_trace_files, diff_traces, distribution_shift)
+from .harness import (KMEANS_SIM_CONFIG, PRESETS, ScalePreset,
+                      kmeans_machine, kmeans_makespan, kmeans_trace,
+                      preset, runtime_pair, seidel_machine, seidel_trace)
+from .render import (render_matrices_side_by_side, render_state_overlay,
+                     render_timelines_side_by_side)
+from .suite import (ExperimentSpec, TraceSummary, analyze_traces,
+                    block_size_sweep, run_and_analyze, run_suite,
+                    scheduler_sweep, summarize_trace, synthetic_sweep)
+
+__all__ = [
+    "SweepRow", "SweepTable", "merged_comm_matrix", "merged_statistics",
+    "merged_task_histogram", "speedup_curve", "sweep_table",
+    "DiffEntry", "DiffTolerances", "EXACT", "TraceDiffReport",
+    "diff_trace_files", "diff_traces", "distribution_shift",
+    "KMEANS_SIM_CONFIG", "PRESETS", "ScalePreset", "kmeans_machine",
+    "kmeans_makespan", "kmeans_trace", "preset", "runtime_pair",
+    "seidel_machine", "seidel_trace",
+    "render_matrices_side_by_side", "render_state_overlay",
+    "render_timelines_side_by_side",
+    "ExperimentSpec", "TraceSummary", "analyze_traces",
+    "block_size_sweep", "run_and_analyze", "run_suite",
+    "scheduler_sweep", "summarize_trace", "synthetic_sweep",
+]

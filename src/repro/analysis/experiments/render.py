@@ -1,0 +1,135 @@
+"""Comparative rendering: side-by-side and overlay panels.
+
+The paper's figures contrast runs visually — Fig. 13's stacked state
+timelines across block sizes, Fig. 14's paired NUMA maps, Fig. 15's
+matrices.  This module composes the existing single-trace renderers
+(:mod:`repro.render`) into multi-trace panels on one
+:class:`~repro.render.framebuffer.Framebuffer`:
+
+* :func:`render_timelines_side_by_side` — one timeline strip per
+  trace, stacked vertically with separator rows (every strip rendered
+  at a common time axis so phases align);
+* :func:`render_matrices_side_by_side` — N matrices in one row, each
+  normalized to the shared peak so shades are comparable;
+* :func:`render_state_overlay` — N traces' workers-in-state curves
+  overlaid in one plot, one color per trace (the Fig. 3 view across
+  runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from ...core.events import WorkerState
+from ...core.metrics import state_count_series
+from ...render import (Framebuffer, StateMode, TimelineView,
+                       render_matrix, render_timeline)
+
+#: Distinct overlay colors, one per trace (cycled when exceeded).
+OVERLAY_COLORS = ((220, 60, 60), (60, 110, 220), (50, 170, 90),
+                  (230, 160, 40), (160, 70, 200), (90, 200, 210))
+
+#: Separator color between stacked panels.
+SEPARATOR = (40, 40, 40)
+
+
+def _common_bounds(traces):
+    """The union time range of N traces (shared comparison axis)."""
+    begin = min(int(trace.begin) for trace in traces)
+    end = max(int(trace.end) for trace in traces)
+    return begin, max(end, begin + 1)
+
+
+def render_timelines_side_by_side(traces, mode=None, width=1024,
+                                  lane_height=4, gap=2, start=None,
+                                  end=None):
+    """Stack one timeline strip per trace into a single framebuffer.
+
+    Every strip is rendered with the same mode over one shared time
+    axis — the *union* time range of all traces by default,
+    ``[start, end)`` when given — so a phase at pixel ``x`` in one
+    strip is simultaneous with pixel ``x`` in every other — the
+    property that makes Fig. 13-style comparisons readable.  Returns
+    the composite :class:`Framebuffer`.
+    """
+    traces = list(traces)
+    if not traces:
+        raise ValueError("need at least one trace to render")
+    begin, finish = _common_bounds(traces)
+    begin = begin if start is None else int(start)
+    end = finish if end is None else int(end)
+    heights = [lane_height * trace.num_cores for trace in traces]
+    total = sum(heights) + gap * (len(traces) - 1)
+    composite = Framebuffer(width, total, background=SEPARATOR)
+    offset = 0
+    for trace, height in zip(traces, heights):
+        view = replace(TimelineView.fit(trace, width, height),
+                       start=begin, end=end)
+        strip = render_timeline(trace, mode or StateMode(), view)
+        composite.pixels[offset:offset + height] = strip.pixels
+        composite.rect_calls += strip.rect_calls
+        composite.line_calls += strip.line_calls
+        composite.pixels_drawn += strip.pixels_drawn
+        offset += height + gap
+    return composite
+
+
+def render_matrices_side_by_side(matrices, cell_size=16, gap=8):
+    """Render N equally-sized matrices in one row, sharing one shade
+    scale (every matrix normalized to the global peak) so a darker
+    cell always means more traffic, across panels."""
+    matrices = [np.asarray(matrix, dtype=np.float64)
+                for matrix in matrices]
+    if not matrices:
+        raise ValueError("need at least one matrix to render")
+    shape = matrices[0].shape
+    for matrix in matrices[1:]:
+        if matrix.shape != shape:
+            raise ValueError("matrix panels must share one shape")
+    peak = max(float(matrix.max()) for matrix in matrices)
+    peak = peak if peak > 0 else 1.0
+    panels = [render_matrix(matrix, cell_size=cell_size, peak=peak)
+              for matrix in matrices]
+    height = max(panel.height for panel in panels)
+    width = (sum(panel.width for panel in panels)
+             + gap * (len(panels) - 1))
+    composite = Framebuffer(width, height, background=(255, 255, 255))
+    offset = 0
+    for panel in panels:
+        composite.pixels[:panel.height,
+                         offset:offset + panel.width] = panel.pixels
+        composite.rect_calls += panel.rect_calls
+        composite.pixels_drawn += panel.pixels_drawn
+        offset += panel.width + gap
+    return composite
+
+
+def render_state_overlay(traces, state=WorkerState.IDLE, width=512,
+                         height=128, colors=OVERLAY_COLORS):
+    """Overlay N traces' workers-in-``state`` curves in one plot.
+
+    Each trace's :func:`~repro.core.metrics.state_count_series` over
+    the union time range becomes one polyline, colored per trace — the
+    across-runs form of the Fig. 3 idle-workers view.  Returns
+    ``(framebuffer, legend)`` where ``legend`` maps each trace index
+    to its color.
+    """
+    traces = list(traces)
+    if not traces:
+        raise ValueError("need at least one trace to render")
+    begin, end = _common_bounds(traces)
+    peak = max(max(trace.num_cores for trace in traces), 1)
+    framebuffer = Framebuffer(width, height, background=(250, 250, 250))
+    legend = {}
+    for index, trace in enumerate(traces):
+        color = colors[index % len(colors)]
+        legend[index] = color
+        __, counts = state_count_series(trace, state, width,
+                                        start=begin, end=end)
+        scaled = np.clip(counts / peak, 0.0, 1.0)
+        ys = (height - 1 - np.round(scaled * (height - 1))).astype(int)
+        for x in range(1, width):
+            framebuffer.draw_line(x - 1, ys[x - 1], x, ys[x], color)
+    return framebuffer, legend

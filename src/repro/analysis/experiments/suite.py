@@ -1,0 +1,333 @@
+"""Parallel multi-trace experiment suites.
+
+The paper's evaluation is comparative: every figure from Fig. 12 on
+contrasts *runs* — block sizes, schedulers, NUMA placements — rather
+than inspecting one trace in isolation.  This module turns the
+single-run harness (:mod:`repro.analysis.experiments.harness`) into a
+suite engine:
+
+* :class:`ExperimentSpec` names one point of a parameter sweep
+  (workload, optimized/non-optimized run-time, block size, seed);
+  :func:`scheduler_sweep` and :func:`block_size_sweep` build the two
+  sweeps the paper studies, :func:`synthetic_sweep` builds cheap
+  seed-varied trace files for scale tests.
+* :func:`run_suite` executes every spec and writes one indexed trace
+  file (plus its ``.ostc`` mapped-cache sidecar) per point into a
+  suite directory, sharded over a ``multiprocessing`` pool.
+* :func:`analyze_traces` ingests N trace files — from :func:`run_suite`
+  or anywhere else — through the same pool; each worker opens its
+  trace via the memory-mapped columnar cache (``read_trace(path,
+  cache=True)``), so repeated sweeps over the same files fault in
+  pages instead of re-parsing records, and folds it into one
+  :class:`TraceSummary`.
+
+Workers are separate processes, so specs and summaries are plain
+picklable dataclasses.  Platforms that cannot spawn processes (or
+``workers=1``) degrade to an identical serial loop, exactly like
+:mod:`repro.analysis.parallel`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from . import harness
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One point of a parameter sweep.
+
+    ``workload`` selects the generator: ``"seidel"`` and ``"kmeans"``
+    run the paper's applications through the simulator;
+    ``"synthetic"`` writes a synthetic trace file directly (cheap, for
+    scale tests).  ``params`` carries the swept values (for example
+    ``("block_size", 10000)`` pairs) and is what the aggregation layer
+    groups summary tables by.
+    """
+
+    name: str
+    workload: str = "seidel"
+    optimized: bool = True
+    scale: str = "small"
+    seed: int = 0
+    block_size: Optional[int] = None
+    events: int = 50_000
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def param_dict(self):
+        """The swept parameters as a plain dict (JSON-friendly)."""
+        return dict(self.params)
+
+    def trace_filename(self):
+        """The suite-directory file name of this spec's trace."""
+        return "{}.ost".format(self.name)
+
+
+def scheduler_sweep(workload="seidel", scale="small", seed=0):
+    """The paper's Section IV contrast: non-optimized vs. optimized
+    run-time (random stealing/placement vs. NUMA-aware) for one
+    workload."""
+    return [
+        ExperimentSpec(name="{}_nonopt".format(workload),
+                       workload=workload, optimized=False, scale=scale,
+                       seed=seed, params=(("scheduler", "random"),)),
+        ExperimentSpec(name="{}_opt".format(workload), workload=workload,
+                       optimized=True, scale=scale, seed=seed,
+                       params=(("scheduler", "numa-aware"),)),
+    ]
+
+
+def block_size_sweep(block_sizes, scale="small", seed=0):
+    """The Fig. 12 sweep: k-means across task granularities."""
+    return [
+        ExperimentSpec(name="kmeans_bs{}".format(block_size),
+                       workload="kmeans", scale=scale, seed=seed,
+                       block_size=int(block_size),
+                       params=(("block_size", int(block_size)),))
+        for block_size in block_sizes
+    ]
+
+
+def synthetic_sweep(count, events=50_000, seed=0):
+    """``count`` seed-varied synthetic trace specs (scale tests)."""
+    return [
+        ExperimentSpec(name="synthetic_{}".format(index),
+                       workload="synthetic", seed=seed + index,
+                       events=int(events),
+                       params=(("seed", seed + index),))
+        for index in range(count)
+    ]
+
+
+@dataclass
+class TraceSummary:
+    """The cross-trace comparison record of one analyzed trace.
+
+    Everything the aggregation and table layers need, detached from
+    the (possibly huge) store it was computed from: identification
+    (``name``, ``path``, ``params``), scale (``records`` event rows,
+    ``duration`` in cycles), the per-state cycle totals, per-type task
+    counts and durations, and the headline scalar metrics.
+    """
+
+    name: str
+    path: str
+    params: Dict[str, object] = field(default_factory=dict)
+    records: int = 0
+    tasks: int = 0
+    duration: int = 0
+    average_parallelism: float = 0.0
+    locality_fraction: float = 1.0
+    state_cycles: Dict[int, int] = field(default_factory=dict)
+    tasks_per_type: Dict[str, int] = field(default_factory=dict)
+    duration_per_type: Dict[str, int] = field(default_factory=dict)
+    anomaly_counts: Dict[str, int] = field(default_factory=dict)
+    histogram_edges: Tuple[float, ...] = ()
+    histogram_fractions: Tuple[float, ...] = ()
+    counter_r2: Dict[str, float] = field(default_factory=dict)
+    graph_edges: int = 0
+    critical_path: int = 0
+    peak_parallelism: int = 0
+
+    def state_fraction(self, state):
+        """Share of all state cycles spent in ``state`` (0.0 if none)."""
+        total = sum(self.state_cycles.values())
+        if total == 0:
+            return 0.0
+        return self.state_cycles.get(int(state), 0) / total
+
+
+def summarize_trace(trace, name="", path="", params=None,
+                    histogram_bins=16, graph=True):
+    """Fold one loaded trace (either store) into a :class:`TraceSummary`.
+
+    This is the per-worker map step of :func:`analyze_traces`: the
+    vectorized statistics, the anomaly scan, the task-duration
+    histogram (Fig. 16), the per-counter duration correlations
+    (Figs. 17–19) and — unless ``graph=False`` — the reconstructed
+    task-graph metrics (Fig. 5's available parallelism, the critical
+    path).  Together they are the full comparative view of one sweep
+    point, which is the per-trace work the suite bench pools across
+    workers.
+    """
+    from ...core import anomalies, statistics
+    from ...core.taskgraph import reconstruct_task_graph
+    state_cycles = {int(state): int(cycles) for state, cycles in
+                    statistics.state_time_summary(trace).items()}
+    type_names = {info.type_id: info.name for info in trace.task_types}
+    columns = trace.tasks.columns
+    tasks_per_type: Dict[str, int] = {}
+    duration_per_type: Dict[str, int] = {}
+    type_ids = columns["type_id"]
+    durations = columns["end"] - columns["start"]
+    for type_id in np.unique(type_ids):
+        selected = type_ids == type_id
+        label = type_names.get(int(type_id), str(int(type_id)))
+        tasks_per_type[label] = int(selected.sum())
+        duration_per_type[label] = int(durations[selected].sum())
+    counts: Dict[str, int] = {}
+    for finding in anomalies.scan(trace):
+        counts[finding.kind] = counts.get(finding.kind, 0) + 1
+    edges, fractions = statistics.task_duration_histogram(
+        trace, bins=histogram_bins)
+    counter_r2: Dict[str, float] = {}
+    for entry in anomalies.correlate_counters(
+            trace, require_positive_slope=False):
+        best = counter_r2.get(entry.counter, 0.0)
+        counter_r2[entry.counter] = max(best, float(entry.r_squared))
+    graph_edges = critical_path = peak_parallelism = 0
+    if graph:
+        task_graph = reconstruct_task_graph(trace)
+        __, depth_counts = task_graph.parallelism_profile()
+        graph_edges = int(task_graph.num_edges)
+        critical_path = int(task_graph.critical_path_length())
+        peak_parallelism = (int(depth_counts.max())
+                            if len(depth_counts) else 0)
+    records = (len(trace.states) + len(trace.tasks)
+               + len(trace.discrete))
+    return TraceSummary(
+        name=name, path=str(path),
+        params=dict(params) if params else {},
+        records=int(records),
+        tasks=int(len(trace.tasks)),
+        duration=int(trace.duration),
+        average_parallelism=float(
+            statistics.average_parallelism(trace)),
+        locality_fraction=float(statistics.locality_fraction(trace)),
+        state_cycles=state_cycles,
+        tasks_per_type=tasks_per_type,
+        duration_per_type=duration_per_type,
+        anomaly_counts=counts,
+        histogram_edges=tuple(float(edge) for edge in edges),
+        histogram_fractions=tuple(float(fraction)
+                                  for fraction in fractions),
+        counter_r2=counter_r2,
+        graph_edges=graph_edges,
+        critical_path=critical_path,
+        peak_parallelism=peak_parallelism)
+
+
+def _run_spec(job):
+    """Worker body of :func:`run_suite`: simulate (or synthesize) one
+    spec and write its indexed trace file plus ``.ostc`` sidecar."""
+    spec, directory = job
+    path = os.path.join(directory, spec.trace_filename())
+    if spec.workload == "synthetic":
+        from ...trace_format.synthesize import write_synthetic_trace
+        write_synthetic_trace(path, events=spec.events, seed=spec.seed)
+    else:
+        from ...trace_format import write_trace
+        if spec.workload == "seidel":
+            __, trace = harness.seidel_trace(
+                optimized=spec.optimized, scale=spec.scale,
+                seed=spec.seed)
+        elif spec.workload == "kmeans":
+            kwargs = {}
+            if spec.block_size is not None:
+                kwargs["block_size"] = spec.block_size
+            __, trace = harness.kmeans_trace(
+                optimized=spec.optimized, scale=spec.scale,
+                seed=spec.seed, **kwargs)
+        else:
+            raise ValueError("unknown workload {!r}".format(
+                spec.workload))
+        write_trace(trace, path, index=True)
+    from ...trace_format import read_trace
+    read_trace(path, cache=True)        # write the sidecar through
+    return path
+
+
+def _summarize_path(job):
+    """Worker body of :func:`analyze_traces`: open one trace through
+    the mapped cache and summarize it."""
+    path, name, params, cache = job
+    from ...trace_format import read_trace
+    if cache:
+        trace = read_trace(path, cache=True)
+    else:
+        trace = read_trace(path, columnar=True)
+    return summarize_trace(trace, name=name, path=path, params=params)
+
+
+def _pooled_map(function, jobs, workers):
+    """``pool.map`` with the repo's serial fallback semantics: one
+    worker, one job, or an unusable platform all run the plain loop.
+    Only pool *creation* errors trigger the fallback — an exception
+    raised inside a worker body (a failed simulation, a full disk)
+    propagates instead of silently re-running every job serially."""
+    workers = max(1, min(workers, len(jobs)))
+    if workers == 1 or len(jobs) <= 1:
+        return [function(job) for job in jobs]
+    try:
+        pool = multiprocessing.get_context().Pool(workers)
+    except (OSError, ImportError, PermissionError):
+        # Platforms without working process support (restricted
+        # sandboxes, missing semaphores) still get correct results.
+        return [function(job) for job in jobs]
+    with pool:
+        return pool.map(function, jobs)
+
+
+def resolve_suite_workers(workers, num_jobs):
+    """Worker-process count for ``num_jobs`` independent traces (the
+    chunk-sharding policy of :func:`repro.analysis.parallel.
+    resolve_workers`, reused so the two pools cannot diverge)."""
+    from ..parallel import resolve_workers
+    return resolve_workers(workers, num_jobs)
+
+
+def run_suite(specs, directory, workers=None):
+    """Execute every spec of a sweep; returns the trace paths in order.
+
+    Each spec becomes one indexed trace file (plus its ``.ostc``
+    mapped-cache sidecar) under ``directory``, produced by a pool of
+    ``workers`` processes — simulations of different sweep points are
+    independent, so the suite scales with cores.
+    """
+    specs = list(specs)
+    os.makedirs(directory, exist_ok=True)
+    workers = resolve_suite_workers(workers, len(specs))
+    jobs = [(spec, directory) for spec in specs]
+    return _pooled_map(_run_spec, jobs, workers)
+
+
+def analyze_traces(paths, workers=None, cache=True, names=None,
+                   params=None):
+    """Summarize N trace files through a worker pool.
+
+    Each worker opens its trace via the memory-mapped columnar cache
+    (``cache=True``; the fast path that makes re-sweeps touch pages,
+    not parsers) and folds it into a :class:`TraceSummary`.  Results
+    keep the order of ``paths``.  ``names``/``params`` optionally label
+    each summary (defaults: the file stem, no parameters).
+    """
+    paths = [str(path) for path in paths]
+    if names is None:
+        names = [os.path.splitext(os.path.basename(path))[0]
+                 for path in paths]
+    if params is None:
+        params = [{} for __ in paths]
+    if len(names) != len(paths) or len(params) != len(paths):
+        raise ValueError("need one name and one params dict per trace "
+                         "({} paths, {} names, {} params)".format(
+                             len(paths), len(names), len(params)))
+    workers = resolve_suite_workers(workers, len(paths))
+    jobs = [(path, name, spec_params, cache)
+            for path, name, spec_params in zip(paths, names, params)]
+    return _pooled_map(_summarize_path, jobs, workers)
+
+
+def run_and_analyze(specs, directory, workers=None, cache=True):
+    """:func:`run_suite` then :func:`analyze_traces`, labeled by spec."""
+    specs = list(specs)
+    paths = run_suite(specs, directory, workers=workers)
+    return analyze_traces(
+        paths, workers=workers, cache=cache,
+        names=[spec.name for spec in specs],
+        params=[spec.param_dict() for spec in specs])

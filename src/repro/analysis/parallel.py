@@ -156,12 +156,19 @@ def parallel_map_reduce(path, factory, workers=None,
         partials = map(_scan_shard, jobs)
     else:
         try:
-            with multiprocessing.get_context().Pool(workers) as pool:
-                partials = pool.map(_scan_shard, jobs)
+            pool = multiprocessing.get_context().Pool(workers)
         except (OSError, ImportError, PermissionError):
             # Platforms without working process support (restricted
-            # sandboxes, missing semaphores) still get correct results.
+            # sandboxes, missing semaphores) still get correct
+            # results.  Only pool creation falls back: an error
+            # raised inside a worker (e.g. a truncated file)
+            # propagates rather than re-running the scan serially.
+            pool = None
+        if pool is None:
             partials = map(_scan_shard, jobs)
+        else:
+            with pool:
+                partials = pool.map(_scan_shard, jobs)
     for partial in partials:
         base.merge(partial)
     return base

@@ -65,7 +65,8 @@ __all__ = [
     "WorkersInState", "DataEndpoint", "TaskDetails",
     "describe_selection", "state_at", "task_at", "task_details",
     "CriticalPathReport", "TypeProfileEntry", "critical_path_report",
-    "describe_profile", "scheduling_delays", "task_type_profile", "RegressionResult",
+    "describe_profile", "scheduling_delays", "task_type_profile",
+    "RegressionResult",
     "counter_increase_per_task", "counter_rate_per_task",
     "duration_vs_counter_rate", "export_task_table", "linear_regression",
     "CommEvent", "CounterDescription", "CounterSample", "DiscreteEvent",
@@ -86,7 +87,8 @@ __all__ = [
     "interval_report_out_of_core", "locality_fraction",
     "per_core_state_time", "state_time_summary",
     "state_time_summary_out_of_core",
-    "steal_matrix", "task_duration_histogram", "counter_histogram", "Symbol", "SymbolTable",
+    "steal_matrix", "task_duration_histogram", "counter_histogram",
+    "Symbol", "SymbolTable",
     "resolve_task", "symbols_from_trace", "TaskGraph", "export_dot",
     "graph_from_program", "reconstruct_task_graph", "to_networkx",
     "Trace", "TraceBuilder", "merge_counter_series",

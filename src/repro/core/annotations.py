@@ -9,7 +9,7 @@ later analysis session or shared with colleagues.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from typing import List, Optional
 
 
@@ -23,10 +23,12 @@ class Annotation:
     author: str = ""
 
     def to_dict(self):
+        """JSON-pure dict form (what the session file stores)."""
         return asdict(self)
 
     @classmethod
     def from_dict(cls, data):
+        """Rebuild an annotation from its :meth:`to_dict` payload."""
         return cls(timestamp=int(data["timestamp"]), text=data["text"],
                    core=data.get("core"), author=data.get("author", ""))
 
@@ -51,10 +53,12 @@ class AnnotationStore:
         return iter(self._annotations)
 
     def add(self, annotation):
+        """Insert one annotation, keeping the store timestamp-sorted."""
         self._annotations.append(annotation)
         self._sort()
 
     def remove(self, annotation):
+        """Delete one annotation (identity match)."""
         self._annotations.remove(annotation)
 
     def in_interval(self, start, end, core=None):
@@ -73,6 +77,7 @@ class AnnotationStore:
 
     @classmethod
     def load(cls, path):
+        """Read a store back from a :meth:`save` JSON file."""
         with open(path) as handle:
             payload = json.load(handle)
         version = payload.get("version")

@@ -24,8 +24,8 @@ Detectors cover the anomaly families the paper studies manually:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 

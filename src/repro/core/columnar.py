@@ -87,9 +87,11 @@ class LaneStack:
         return self.lanes[core]
 
     def core_slice(self, core):
+        """Concatenated-column slice covering one core's events."""
         return slice(int(self.offsets[core]), int(self.offsets[core + 1]))
 
     def core_column(self, core, name):
+        """One column of one core's lane (``core_name`` synthesized)."""
         if name == self.core_name:
             return np.full(len(self.lanes[core]), core, dtype=np.int64)
         return self.lanes[core][name]
@@ -179,10 +181,12 @@ class ColumnarTrace(EventViewMixin):
     # -- global properties --------------------------------------------
     @property
     def num_cores(self):
+        """Total cores of the traced machine."""
         return self.topology.num_cores
 
     @property
     def duration(self):
+        """Cycles between the first and last event."""
         return self.end - self.begin
 
     def _time_bounds(self):
@@ -226,6 +230,7 @@ class ColumnarTrace(EventViewMixin):
     # -- counters -------------------------------------------------------
     @property
     def counter_series(self):
+        """``(core, counter_id) -> (timestamps, values)`` views."""
         if self._counter_series is None:
             self._counter_series = {
                 key: (lane["timestamp"], lane["value"])
@@ -349,9 +354,11 @@ class ColumnarBuilder(TraceBuilder):
         super().__init__(topology)
 
     def set_topology(self, topology):
+        """Install the topology (any time before :meth:`build`)."""
         self.topology = topology
 
     def build(self):
+        """Assemble the per-core sorted lanes into a :class:`ColumnarTrace`."""
         if self.topology is None:
             raise ValueError("cannot build a trace without a topology")
         num_cores = self.topology.num_cores

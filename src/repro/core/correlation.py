@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import csv
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 from scipy import stats
@@ -78,9 +77,11 @@ class RegressionResult:
     samples: int
 
     def predict(self, x):
+        """Fitted value at ``x`` (slope * x + intercept)."""
         return self.slope * np.asarray(x, dtype=np.float64) + self.intercept
 
     def describe(self):
+        """One-line fit summary (slope, r^2, sample count)."""
         return ("y = {:.4g} * x + {:.4g}  (R^2 = {:.3f}, p = {:.2g}, "
                 "n = {})".format(self.slope, self.intercept,
                                  self.r_squared, self.p_value,

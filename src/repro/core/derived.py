@@ -15,7 +15,7 @@ plain data, so a saved analysis configuration is just a list of specs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -44,6 +44,7 @@ class DerivedSeries:
                            np.asarray(self.values, dtype=np.float64))
 
     def as_arrays(self):
+        """``(edges, values)`` as the underlying numpy arrays."""
         return self.edges, self.values
 
     def sample_points(self):
@@ -60,12 +61,14 @@ class DerivedMetric:
 
     def materialize(self, trace, num_intervals=200, start=None,
                     end=None):
+        """Evaluate the spec against a trace into a :class:`DerivedSeries`."""
         raise NotImplementedError
 
     def __truediv__(self, other):
         return Ratio(self, other)
 
     def derivative(self):
+        """Spec for the discrete derivative of this metric."""
         return Derivative(self)
 
 
@@ -78,10 +81,12 @@ class WorkersInState(DerivedMetric):
 
     @property
     def name(self):
+        """``workers_in_<STATE>`` (menu and legend label)."""
         return "workers_in_{}".format(WorkerState(self.state).name)
 
     def materialize(self, trace, num_intervals=200, start=None,
                     end=None):
+        """Count workers in the state per interval (Fig. 3 series)."""
         edges, counts = metrics.state_count_series(
             trace, self.state, num_intervals, cores=self.cores,
             start=start, end=end)
@@ -96,6 +101,7 @@ class AverageTaskDuration(DerivedMetric):
 
     def materialize(self, trace, num_intervals=200, start=None,
                     end=None):
+        """Average executing-task duration per interval (Fig. 8)."""
         edges, averages = metrics.average_task_duration_series(
             trace, num_intervals, start=start, end=end)
         return DerivedSeries(self.name, edges, averages)
@@ -110,10 +116,12 @@ class AggregatedCounter(DerivedMetric):
 
     @property
     def name(self):
+        """``aggregate_<counter>`` (menu and legend label)."""
         return "aggregate_{}".format(self.counter)
 
     def materialize(self, trace, num_intervals=200, start=None,
                     end=None):
+        """Sum the counter across workers into per-interval means."""
         edges, totals = metrics.aggregate_counter_series(
             trace, self.counter, num_intervals, cores=self.cores,
             start=start, end=end)
@@ -131,10 +139,12 @@ class BytesBetweenNodes(DerivedMetric):
 
     @property
     def name(self):
+        """``bytes_<src>_to_<dst>`` (menu and legend label)."""
         return "bytes_{}_to_{}".format(self.src_node, self.dst_node)
 
     def materialize(self, trace, num_intervals=200, start=None,
                     end=None):
+        """Bytes moved between the two NUMA nodes per interval."""
         edges, totals = metrics.bytes_between_nodes_series(
             trace, self.src_node, self.dst_node, num_intervals,
             start=start, end=end)
@@ -149,10 +159,12 @@ class Derivative(DerivedMetric):
 
     @property
     def name(self):
+        """``d(<inner>)`` (menu and legend label)."""
         return "d({})".format(self.inner.name)
 
     def materialize(self, trace, num_intervals=200, start=None,
                     end=None):
+        """Discrete derivative of the inner metric's series (Fig. 10)."""
         series = self.inner.materialize(trace, num_intervals, start, end)
         edges, values = series.as_arrays()
         # Treat the per-interval values as samples at midpoints.
@@ -171,11 +183,13 @@ class Ratio(DerivedMetric):
 
     @property
     def name(self):
+        """``<numerator>_per_<denominator>`` (menu and legend label)."""
         return "{} / {}".format(self.numerator.name,
                                 self.denominator.name)
 
     def materialize(self, trace, num_intervals=200, start=None,
                     end=None):
+        """Pointwise ratio of the two metrics' series (0 where undefined)."""
         top = self.numerator.materialize(trace, num_intervals, start,
                                          end)
         bottom = self.denominator.materialize(trace, num_intervals,
@@ -202,29 +216,35 @@ class DerivedMetricMenu:
         self._generators: Dict[str, DerivedMetric] = {}
 
     def add(self, metric, name=None):
+        """Register a spec under its (unique) name."""
         self._generators[name or metric.name] = metric
         return self
 
     def remove(self, name):
+        """Drop a spec by name."""
         del self._generators[name]
 
     def names(self):
+        """Registered spec names, sorted alphabetically."""
         return sorted(self._generators)
 
     def __len__(self):
         return len(self._generators)
 
     def materialize_all(self, trace, num_intervals=200):
+        """Materialize every registered spec against one trace."""
         return {name: generator.materialize(trace, num_intervals)
                 for name, generator in self._generators.items()}
 
     # -- persistence --------------------------------------------------
     def to_config(self):
+        """JSON-pure menu configuration (session persistence)."""
         return {name: _spec_to_dict(generator)
                 for name, generator in self._generators.items()}
 
     @classmethod
     def from_config(cls, config):
+        """Rebuild a menu from its :meth:`to_config` payload."""
         menu = cls()
         for name, spec in config.items():
             menu.add(_spec_from_dict(spec), name=name)

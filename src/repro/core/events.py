@@ -11,8 +11,8 @@ encoding lives in :mod:`repro.trace_format`.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 
 class WorkerState(enum.IntEnum):
@@ -57,6 +57,7 @@ class StateInterval:
 
     @property
     def duration(self):
+        """Cycles the worker spent in this state."""
         return self.end - self.start
 
 
@@ -72,6 +73,7 @@ class TaskExecution:
 
     @property
     def duration(self):
+        """Cycles between the task's start and end."""
         return self.end - self.start
 
 
@@ -142,6 +144,7 @@ class RegionInfo:
 
     @property
     def end(self):
+        """First address past the region."""
         return self.address + self.size
 
 
@@ -166,7 +169,9 @@ class TopologyInfo:
 
     @property
     def num_cores(self):
+        """Total cores (nodes x cores per node)."""
         return self.num_nodes * self.cores_per_node
 
     def node_of_core(self, core):
+        """NUMA node hosting one core."""
         return core // self.cores_per_node

@@ -21,6 +21,7 @@ class TaskFilter:
         raise NotImplementedError
 
     def count(self, trace):
+        """Number of task executions the filter keeps."""
         return int(self.mask(trace).sum())
 
     def __and__(self, other):
@@ -55,6 +56,7 @@ class AllTasks(TaskFilter):
     """The neutral filter: selects everything."""
 
     def mask(self, trace):
+        """Keep-mask over the task columns: everything."""
         return np.ones(len(trace.tasks), dtype=bool)
 
 
@@ -82,6 +84,7 @@ class TaskTypeFilter(TaskFilter):
         return ids
 
     def mask(self, trace):
+        """Keep-mask over the task columns: matching type names."""
         ids = self._type_ids(trace)
         type_column = trace.tasks.columns["type_id"]
         return np.isin(type_column, sorted(ids))
@@ -95,6 +98,7 @@ class DurationFilter(TaskFilter):
         self.maximum = maximum
 
     def mask(self, trace):
+        """Keep-mask over the task columns: durations within bounds."""
         columns = trace.tasks.columns
         durations = columns["end"] - columns["start"]
         selected = durations >= self.minimum
@@ -112,6 +116,8 @@ class IntervalFilter(TaskFilter):
         self.end = end
 
     def mask(self, trace):
+        """Keep-mask over the task columns: executions overlapping the
+        interval."""
         columns = trace.tasks.columns
         return ((columns["start"] < self.end)
                 & (columns["end"] > self.start))
@@ -124,6 +130,7 @@ class CoreFilter(TaskFilter):
         self.cores = sorted(set(int(core) for core in cores))
 
     def mask(self, trace):
+        """Keep-mask over the task columns: the selected cores."""
         return np.isin(trace.tasks.columns["core"], self.cores)
 
 
@@ -142,6 +149,7 @@ class NumaNodeFilter(TaskFilter):
         self.mode = mode
 
     def mask(self, trace):
+        """Keep-mask over the task columns: cores on the selected nodes."""
         accesses = trace.accesses
         keep = np.ones(len(accesses["task_id"]), dtype=bool)
         if self.mode == "read":
@@ -161,6 +169,7 @@ class PredicateFilter(TaskFilter):
         self.predicate = predicate
 
     def mask(self, trace):
+        """Keep-mask over the task columns: the user predicate, per task."""
         return np.asarray([bool(self.predicate(execution))
                            for execution in trace.task_executions()],
                           dtype=bool)

@@ -88,6 +88,7 @@ class MinMaxTree:
 
     @property
     def levels(self):
+        """Number of reduction levels above the leaves."""
         return len(self._mins)
 
     def overhead_fraction(self):
@@ -222,6 +223,7 @@ class CounterIndex:
         self._trees = {}
 
     def tree(self, core, counter_id):
+        """The (lazily built) min/max tree of one (core, counter)."""
         memoized = getattr(self.trace, "minmax_tree", None)
         if memoized is not None:
             # Share the per-(core, counter) trees memoized on the trace

@@ -20,7 +20,7 @@ These analyses quantify what the timeline shows visually:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List
 
 import numpy as np
 
@@ -51,6 +51,7 @@ class CriticalPathReport:
         return self.length_cycles / self.makespan
 
     def describe(self):
+        """Human-readable critical-path summary panel."""
         return ("critical path: {} cycles over {} tasks; total work "
                 "{} cycles; max speedup {:.1f}x; makespan {} "
                 "({:.0%} of it is the critical path)".format(
@@ -136,6 +137,7 @@ def task_type_profile(trace):
 
 
 def describe_profile(entries):
+    """Render a task-type profile as an aligned text table."""
     lines = ["{:24s} {:>8s} {:>14s} {:>12s} {:>7s}".format(
         "type", "tasks", "total cycles", "mean", "share")]
     for entry in entries:

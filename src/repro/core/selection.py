@@ -11,7 +11,7 @@ assembly, headlessly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -58,6 +58,7 @@ class DataEndpoint:
     numa_node: Optional[int]
 
     def describe(self):
+        """One line naming the accessing task and byte count."""
         node = ("node {}".format(self.numa_node)
                 if self.numa_node is not None else "unplaced")
         return "{} @0x{:x} ({} bytes, {})".format(
@@ -84,9 +85,11 @@ class TaskDetails:
 
     @property
     def duration(self):
+        """Cycles the selected task executed for."""
         return self.end - self.start
 
     def describe(self):
+        """The multi-line detail panel of the selected task (Fig. 1)."""
         lines = [
             "task {} ({})".format(self.task_id, self.type_name),
             "  work function 0x{:x} at {}:{}".format(

@@ -9,7 +9,7 @@ incidence matrix (Fig. 15).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
@@ -172,6 +172,7 @@ class IntervalReport:
     locality: float
 
     def describe(self):
+        """The multi-line text panel (tasks, parallelism, states)."""
         lines = ["interval [{} .. {})".format(self.start, self.end),
                  "tasks executing: {}".format(self.tasks),
                  "average parallelism: {:.2f}".format(

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 
 @dataclass(frozen=True)
@@ -40,6 +40,7 @@ class SymbolTable:
         return len(self._symbols)
 
     def add(self, symbol):
+        """Insert one symbol, keeping the table address-sorted."""
         position = bisect.bisect_left(self._addresses, symbol.address)
         self._symbols.insert(position, symbol)
         self._addresses.insert(position, symbol.address)
@@ -53,6 +54,7 @@ class SymbolTable:
         return self._symbols[position]
 
     def by_name(self, name):
+        """First symbol with the given name (None when absent)."""
         for symbol in self._symbols:
             if symbol.name == name:
                 return symbol

@@ -12,7 +12,7 @@ visualization with Graphviz (Fig. 4/6).
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -27,6 +27,7 @@ class TaskGraph:
         self._depths: Optional[Dict[int, int]] = None
 
     def add_node(self, task_id):
+        """Ensure a task id exists in the graph (no edges)."""
         self.nodes.add(task_id)
 
     def add_edge(self, src, dst):
@@ -39,6 +40,7 @@ class TaskGraph:
 
     @property
     def num_edges(self):
+        """Total dependence edges."""
         return sum(len(out) for out in self.successors.values())
 
     def roots(self):
@@ -75,9 +77,11 @@ class TaskGraph:
         return depth
 
     def depth_of(self, task_id):
+        """Longest-path depth of one task."""
         return self.depths()[task_id]
 
     def max_depth(self):
+        """Depth of the deepest task (0 for an empty graph)."""
         depths = self.depths()
         return max(depths.values()) if depths else 0
 
@@ -185,26 +189,35 @@ def reconstruct_task_graph(trace):
     count = len(accesses["task_id"])
     for position in range(len(trace.tasks)):
         graph.add_node(int(trace.tasks.columns["task_id"][position]))
-    if count == 0:
+    if count == 0 or len(trace.tasks) == 0:
         return graph
     # Order accesses by the executing task's start time, writes of a
-    # task before reads of later tasks.
+    # task before reads of later tasks.  Accesses referencing task ids
+    # absent from the task table (truncated windows, synthetic traces)
+    # cannot contribute dependence edges and are dropped.
     task_ids = accesses["task_id"]
     all_ids = trace.tasks.columns["task_id"]
     all_starts = trace.tasks.columns["start"]
     id_order = np.argsort(all_ids)
-    starts = all_starts[id_order][np.searchsorted(
-        all_ids[id_order], task_ids)]
-    order = np.lexsort((accesses["is_write"] * -1, starts))
+    sorted_ids = all_ids[id_order]
+    clipped = np.minimum(np.searchsorted(sorted_ids, task_ids),
+                         len(sorted_ids) - 1)
+    known = sorted_ids[clipped] == task_ids
+    task_ids = task_ids[known]
+    addresses = accesses["address"][known]
+    sizes = accesses["size"][known]
+    is_write = accesses["is_write"][known]
+    starts = all_starts[id_order][clipped[known]]
+    order = np.lexsort((is_write * -1, starts))
     writes_by_page: Dict[int, List[Tuple[int, int, int, int]]] = \
         defaultdict(list)
     edges = set()
     for index in order:
         task = int(task_ids[index])
-        address = int(accesses["address"][index])
-        size = int(accesses["size"][index])
+        address = int(addresses[index])
+        size = int(sizes[index])
         begin, end = address, address + size
-        if accesses["is_write"][index]:
+        if is_write[index]:
             for page in range(begin // 4096, (end - 1) // 4096 + 1):
                 writes_by_page[page].append((task, begin, end,
                                              int(starts[index])))

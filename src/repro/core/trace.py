@@ -20,13 +20,13 @@ per-core timestamp order, which makes this sort cheap — Section VI-A.)
 from __future__ import annotations
 
 from array import array
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from .events import (CommEvent, CounterDescription, DiscreteEvent,
-                     MemoryAccess, RegionInfo, StateInterval,
-                     TaskExecution, TaskTypeInfo, TopologyInfo)
+                     MemoryAccess, RegionInfo, StateInterval, TaskExecution,
+                     TaskTypeInfo)
 
 
 class RegionLookup:
@@ -169,31 +169,39 @@ class TraceBuilder:
         return counter_id
 
     def describe_task_type(self, info):
+        """Register a :class:`TaskTypeInfo` static record."""
         self.task_types.append(info)
 
     def describe_region(self, info):
+        """Register a :class:`RegionInfo` static record."""
         self.regions.append(info)
 
     # -- event records ----------------------------------------------------
     def state_interval(self, core, state, start, end):
+        """Append one worker-state interval record."""
         if end > start:
             self._states.append(core, state, start, end)
 
     def task_execution(self, task_id, type_id, core, start, end):
+        """Append one task-execution record."""
         self._tasks.append(task_id, type_id, core, start, end)
 
     def discrete_event(self, core, kind, timestamp, payload=0):
+        """Append one discrete (point) event record."""
         self._discrete.append(core, kind, timestamp, payload)
 
     def comm_event(self, src_core, dst_core, timestamp, size=0, task_id=-1):
+        """Append one communication event record."""
         self._comm.append(src_core, dst_core, timestamp, size, task_id)
 
     def memory_access(self, task_id, core, address, size, is_write,
                       timestamp):
+        """Append one memory-access record."""
         self._accesses.append(task_id, core, address, size,
                               1 if is_write else 0, timestamp)
 
     def counter_sample(self, core, counter_id, timestamp, value):
+        """Append one counter sample for a core's counter."""
         key = (core, counter_id)
         times = self._counter_times.get(key)
         if times is None:
@@ -203,6 +211,7 @@ class TraceBuilder:
         self._counter_values[key].append(float(value))
 
     def build(self):
+        """Freeze the accumulated records into a :class:`Trace`."""
         counter_series = {}
         for key, times in self._counter_times.items():
             timestamps = np.asarray(times, dtype=np.int64)
@@ -235,12 +244,14 @@ class EventViewMixin:
 
     # -- counters -------------------------------------------------------
     def counter_id(self, name):
+        """Counter id for a name (ids pass through unchanged)."""
         for description in self.counter_descriptions:
             if description.name == name:
                 return description.counter_id
         raise KeyError("no counter named {!r}".format(name))
 
     def counter_name(self, counter_id):
+        """Counter name for an id."""
         return self.counter_descriptions[counter_id].name
 
     def counter_samples(self, core, counter_id):
@@ -302,6 +313,7 @@ class EventViewMixin:
                                 end=int(columns["end"][position]))
 
     def state_intervals(self):
+        """Iterate :class:`StateInterval` dataclasses (optionally one core)."""
         columns = self.states.columns
         for position in range(len(self.states)):
             yield StateInterval(core=int(columns["core"][position]),
@@ -310,6 +322,7 @@ class EventViewMixin:
                                 end=int(columns["end"][position]))
 
     def discrete_events(self):
+        """Iterate :class:`DiscreteEvent` dataclasses (optionally one core)."""
         columns = self.discrete.columns
         for position in range(len(self.discrete)):
             yield DiscreteEvent(core=int(columns["core"][position]),
@@ -319,6 +332,8 @@ class EventViewMixin:
                                 payload=int(columns["payload"][position]))
 
     def comm_events(self):
+        """Iterate :class:`CommEvent` dataclasses (optionally one source
+        core)."""
         columns = self.comm
         for position in range(len(columns["timestamp"])):
             yield CommEvent(src_core=int(columns["src_core"][position]),
@@ -328,6 +343,7 @@ class EventViewMixin:
                             task_id=int(columns["task_id"][position]))
 
     def memory_accesses(self):
+        """Iterate :class:`MemoryAccess` dataclasses (optionally one task)."""
         columns = self.accesses
         for position in range(len(columns["task_id"])):
             yield MemoryAccess(
@@ -389,9 +405,11 @@ class PerCoreEvents:
         return len(self.columns[self._sort_key])
 
     def core_slice(self, core):
+        """Slice of the concatenated columns covering one core."""
         return slice(int(self.offsets[core]), int(self.offsets[core + 1]))
 
     def core_column(self, core, name):
+        """One column restricted to one core's events."""
         return self.columns[name][self.core_slice(core)]
 
 
@@ -421,10 +439,12 @@ class Trace(EventViewMixin):
     # -- global properties --------------------------------------------
     @property
     def num_cores(self):
+        """Total cores of the traced machine."""
         return self.topology.num_cores
 
     @property
     def duration(self):
+        """Cycles between the first and last event."""
         return self.end - self.begin
 
     def _time_bounds(self):

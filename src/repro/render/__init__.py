@@ -16,8 +16,10 @@ from .timeline import (HeatmapMode, NumaHeatmapMode, NumaMode, StateMode,
 __all__ = [
     "heatmap_shades", "numa_heat_color", "numa_palette", "state_color",
     "type_palette", "render_counter", "render_counter_rate",
-    "value_bounds", "render_derived_series", "EVENT_COLORS", "render_annotations",
-    "render_discrete_events", "Framebuffer", "histogram_to_text", "matrix_to_text",
+    "value_bounds", "render_derived_series", "EVENT_COLORS",
+    "render_annotations",
+    "render_discrete_events", "Framebuffer", "histogram_to_text",
+    "matrix_to_text",
     "render_histogram", "render_matrix", "HeatmapMode", "NumaHeatmapMode",
     "NumaMode", "StateMode", "TimelineMode", "TimelineView", "TypeMode",
     "render_timeline",

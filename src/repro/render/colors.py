@@ -35,6 +35,7 @@ STATE_COLORS = {
 
 
 def state_color(state):
+    """RGB color of one worker state (the paper's state palette)."""
     return STATE_COLORS.get(int(state), (200, 200, 200))
 
 

@@ -27,7 +27,6 @@ Both produce bit-identical framebuffers and draw-call counts.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 import numpy as np
 

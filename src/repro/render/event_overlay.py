@@ -10,7 +10,6 @@ to overlays too).
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -34,12 +34,14 @@ class Framebuffer:
         self.pixels_drawn = 0
 
     def reset_counters(self):
+        """Zero the draw-operation accounting."""
         self.rect_calls = 0
         self.line_calls = 0
         self.pixels_drawn = 0
 
     @property
     def draw_calls(self):
+        """Rectangles plus lines drawn so far."""
         return self.rect_calls + self.line_calls
 
     def fill_rect(self, x, y, width, height, color):
@@ -124,6 +126,7 @@ class Framebuffer:
         self.pixels_drawn += drawn
 
     def put_pixel(self, x, y, color):
+        """Set one pixel (clipped)."""
         if 0 <= x < self.width and 0 <= y < self.height:
             self.pixels[int(y), int(x)] = color
             self.pixels_drawn += 1

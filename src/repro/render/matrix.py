@@ -16,7 +16,7 @@ from .framebuffer import Framebuffer
 
 
 def render_matrix(matrix, cell_size=16, framebuffer=None, gap=1,
-                  vectorized=True):
+                  vectorized=True, peak=None):
     """Render a square matrix of fractions as a red-shaded grid.
 
     All cell shades come from one vectorized ramp evaluation
@@ -24,13 +24,18 @@ def render_matrix(matrix, cell_size=16, framebuffer=None, gap=1,
     rectangle fills — the drawing operations the benchmarks count —
     are unchanged.  ``vectorized=False`` keeps the per-cell
     :func:`~repro.render.colors.matrix_red` calls as the parity
-    reference; both paths paint identical pixels.
+    reference; both paths paint identical pixels.  ``peak`` overrides
+    the normalization reference (default: this matrix's own maximum)
+    so several panels can share one shade scale.
     """
     matrix = np.asarray(matrix, dtype=np.float64)
     if matrix.ndim != 2:
         raise ValueError("matrix must be two-dimensional")
     rows, cols = matrix.shape
-    peak = matrix.max() if matrix.size and matrix.max() > 0 else 1.0
+    if peak is None:
+        peak = matrix.max() if matrix.size and matrix.max() > 0 else 1.0
+    elif peak <= 0:
+        peak = 1.0
     side_y = rows * (cell_size + gap) + gap
     side_x = cols * (cell_size + gap) + gap
     if framebuffer is None:

@@ -20,7 +20,6 @@ event) so the benchmarks can quantify the optimization.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
 
 import numpy as np
 
@@ -58,10 +57,12 @@ class TimelineView:
 
     @property
     def duration(self):
+        """Cycles spanned by the view window."""
         return self.end - self.start
 
     @property
     def cycles_per_pixel(self):
+        """Trace cycles covered by one pixel column."""
         return self.duration / self.width
 
     def pixel_interval(self, x):
@@ -71,6 +72,7 @@ class TimelineView:
         return int(t0), int(max(t1, t0 + 1))
 
     def time_to_pixel(self, time):
+        """Pixel column of a timestamp (unclipped)."""
         return int((time - self.start) * self.width // self.duration)
 
     def zoom(self, factor, center=None):
@@ -108,12 +110,15 @@ class TimelineMode:
         """Hook: precompute per-trace tables before rendering."""
 
     def lane_events(self, trace, core):
+        """``(starts, ends, keys)`` of one core's drawable events."""
         raise NotImplementedError
 
     def color_of(self, key):
+        """RGB color of one event key."""
         raise NotImplementedError
 
     def value_color(self, value):
+        """RGB color of one aggregated pixel value."""
         raise NotImplementedError
 
 
@@ -123,11 +128,13 @@ class StateMode(TimelineMode):
     name = "state"
 
     def lane_events(self, trace, core):
+        """One core's state intervals keyed by state id."""
         return (trace.states.core_column(core, "start"),
                 trace.states.core_column(core, "end"),
                 trace.states.core_column(core, "state"))
 
     def color_of(self, key):
+        """The state palette color of one state id."""
         return palettes.state_color(key)
 
 
@@ -164,6 +171,7 @@ class HeatmapMode(_TaskMode):
         self._mask = None
 
     def prepare(self, trace):
+        """Compute the duration decile bounds over the whole trace."""
         columns = trace.tasks.columns
         durations = columns["end"] - columns["start"]
         if self.task_filter is not None:
@@ -182,6 +190,7 @@ class HeatmapMode(_TaskMode):
             self._hi = self._lo + 1.0
 
     def task_keys(self, trace, core):
+        """One core's task intervals keyed by duration decile."""
         starts = trace.tasks.core_column(core, "start")
         ends = trace.tasks.core_column(core, "end")
         fractions = (ends - starts - self._lo) / (self._hi - self._lo)
@@ -193,6 +202,7 @@ class HeatmapMode(_TaskMode):
         return keys
 
     def color_of(self, key):
+        """The red shade of one duration decile."""
         return self.shades[int(key)]
 
 
@@ -202,12 +212,15 @@ class TypeMode(_TaskMode):
     name = "typemap"
 
     def prepare(self, trace):
+        """Assign every task type a palette slot."""
         self._palette = palettes.type_palette(max(len(trace.task_types), 1))
 
     def task_keys(self, trace, core):
+        """One core's task intervals keyed by type id."""
         return trace.tasks.core_column(core, "type_id")
 
     def color_of(self, key):
+        """The palette color of one task type."""
         return self._palette[int(key) % len(self._palette)]
 
 
@@ -221,14 +234,17 @@ class NumaMode(_TaskMode):
         self.name = "numa_{}".format(kind)
 
     def prepare(self, trace):
+        """Precompute per-task NUMA byte tallies for the access kind."""
         self._palette = palettes.numa_palette(trace.topology.num_nodes)
         self._nodes = numa_analysis.task_predominant_nodes(trace,
                                                            self.kind)
 
     def task_keys(self, trace, core):
+        """One core's task intervals keyed by dominant remote node."""
         return self._nodes[trace.tasks.core_slice(core)]
 
     def color_of(self, key):
+        """The node palette color (gray for no data)."""
         return self._palette[int(key) % len(self._palette)]
 
 
@@ -239,12 +255,15 @@ class NumaHeatmapMode(_TaskMode):
     continuous = True
 
     def prepare(self, trace):
+        """Precompute per-task remote-access fractions."""
         self._fractions = numa_analysis.task_remote_fractions(trace)
 
     def task_keys(self, trace, core):
+        """One core's task intervals keyed by remote-fraction bucket."""
         return self._fractions[trace.tasks.core_slice(core)]
 
     def value_color(self, value):
+        """Blue-to-red ramp over the remote fraction."""
         return palettes.numa_heat_color(value)
 
 

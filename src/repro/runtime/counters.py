@@ -10,7 +10,7 @@ execution and samples the cumulative value at both task boundaries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 #: Canonical counter names used throughout the reproduction.

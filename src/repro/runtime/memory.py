@@ -146,13 +146,15 @@ class MemoryManager:
                               address=self._next_address, size=size,
                               name=name)
         self._next_region_id += 1
-        # Keep regions page-aligned and non-adjacent so lookups are unambiguous.
+        # Keep regions page-aligned and non-adjacent so lookups
+        # are unambiguous.
         self._next_address += (region.num_pages + 1) * PAGE_SIZE
         self.regions.append(region)
         return region
 
     def region_of(self, address):
-        """Region containing ``address`` (binary search over sorted regions)."""
+        """Region containing ``address`` (binary search over sorted
+        regions)."""
         lo, hi = 0, len(self.regions)
         while lo < hi:
             mid = (lo + hi) // 2

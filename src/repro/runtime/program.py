@@ -11,7 +11,7 @@ the trace's memory-access records.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from .memory import MemoryManager
 from .task import Access, Task, TaskType

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import List, Optional, Tuple
+from typing import List
 
 
 class Scheduler:

@@ -21,8 +21,8 @@ from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from ..core.events import DiscreteEventKind, WorkerState
 from .counters import (CounterModelConfig, HardwareCounters,

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 from . import format as fmt
 from .compression import codec_for_path
-from .reader import _Stream, check_header, parse_records
+from .reader import _Stream, parse_records
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,8 @@ from .seidel import SeidelConfig, build_seidel
 from .synthetic import build_chain, build_fork_join, build_random_dag
 
 __all__ = ["CholeskyConfig", "build_cholesky", "PipelineConfig",
-           "build_pipeline", "KmeansConfig", "build_kmeans", "OpenMPProgram",
-           "build_fibonacci", "build_mergesort", "SeidelConfig", "build_seidel",
+           "build_pipeline", "KmeansConfig", "build_kmeans",
+           "OpenMPProgram",
+           "build_fibonacci", "build_mergesort", "SeidelConfig",
+           "build_seidel",
            "build_chain", "build_fork_join", "build_random_dag"]

@@ -116,7 +116,7 @@ def build_kmeans(machine, config=None, memory=None):
 
     initial_centers = program.allocate(config.centers_bytes,
                                        name="centers_initial")
-    seed_task = program.spawn(
+    program.spawn(
         "kmeans_seed_centers", config.tree_task_cycles,
         writes=[(initial_centers, 0, config.centers_bytes)])
     creator = None    # iteration 0 tasks are created by the main program

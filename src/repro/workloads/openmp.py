@@ -21,8 +21,7 @@ simulator's creator chains rather than main-program creation:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict
 
 from ..runtime.program import Program
 

@@ -12,8 +12,8 @@ rate — a fourth anomaly family to exercise Aftermath's views on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from ..runtime.program import Program
 

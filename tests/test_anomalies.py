@@ -1,6 +1,5 @@
 """Tests for semi-automatic anomaly detection."""
 
-import numpy as np
 import pytest
 
 from repro.core import (TaskTypeFilter, TopologyInfo, TraceBuilder,

@@ -12,10 +12,8 @@ import os
 import numpy as np
 import pytest
 
-from repro.analysis import (CommMatrixAccumulator,
-                            TaskHistogramAccumulator,
-                            parallel_comm_matrix, parallel_map_reduce,
-                            parallel_streaming_statistics,
+from repro.analysis import (TaskHistogramAccumulator, parallel_comm_matrix,
+                            parallel_map_reduce, parallel_streaming_statistics,
                             parallel_task_histogram)
 from repro.core import (interval_report, interval_report_out_of_core,
                         state_time_summary_out_of_core)

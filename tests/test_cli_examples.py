@@ -5,8 +5,8 @@ drive every subcommand against a real trace file.
 """
 
 import importlib.util
+import json
 import pathlib
-import sys
 
 import pytest
 
@@ -112,3 +112,52 @@ class TestSubcommands:
         task_id = int(seidel_trace_small.tasks.columns["task_id"][0])
         cli.main(["task", trace_path, str(task_id)])
         assert "work function" in capsys.readouterr().out
+
+
+@pytest.fixture(scope="module")
+def suite_paths(tmp_path_factory):
+    """Four tiny synthetic traces for the multi-trace subcommands."""
+    from repro.analysis.experiments import run_suite, synthetic_sweep
+    directory = str(tmp_path_factory.mktemp("cli-suite"))
+    return run_suite(synthetic_sweep(4, events=2_000), directory,
+                     workers=1)
+
+
+class TestMultiTraceSubcommands:
+    def test_sweep_prints_table_and_merge(self, cli, suite_paths,
+                                          capsys):
+        cli.main(["sweep", "--workers", "1"] + list(suite_paths))
+        out = capsys.readouterr().out
+        assert "synthetic_0" in out
+        assert "best duration:" in out
+        assert "merged across 4 traces" in out
+
+    def test_sweep_writes_json_table(self, cli, suite_paths, tmp_path,
+                                     capsys):
+        out_path = tmp_path / "table.json"
+        cli.main(["sweep", "--workers", "1", "--json", str(out_path)]
+                 + list(suite_paths))
+        payload = json.loads(out_path.read_text())
+        assert len(payload["rows"]) == len(suite_paths)
+
+    def test_compare_self_is_empty(self, cli, suite_paths, capsys):
+        cli.main(["compare", suite_paths[0], suite_paths[0]])
+        assert "no deviations" in capsys.readouterr().out
+
+    def test_compare_reports_and_writes_json(self, cli, suite_paths,
+                                             tmp_path, capsys):
+        out_path = tmp_path / "diff.json"
+        cli.main(["compare", suite_paths[0], suite_paths[1],
+                  "--relative", "0", "--distribution", "0",
+                  "--json", str(out_path)])
+        out = capsys.readouterr().out
+        assert "deviation(s) between" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["empty"] is False
+
+    def test_compare_strict_exits_nonzero(self, cli, suite_paths):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["compare", suite_paths[0], suite_paths[1],
+                      "--relative", "0", "--distribution", "0",
+                      "--strict"])
+        assert excinfo.value.code == 1

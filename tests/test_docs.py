@@ -57,8 +57,10 @@ def test_quickstart_example_runs_and_covers_both_stores(tmp_path,
         in out
     assert "columnar reload matches conversion: True" in out
     assert "matches parsed store: True" in out
+    assert "self-diff empty: True" in out
     assert (tmp_path / "quickstart.ostc").exists()
     assert (tmp_path / "quickstart_states.ppm").exists()
+    assert (tmp_path / "quickstart_compare.ppm").exists()
 
 
 def test_public_trace_format_api_is_documented():

@@ -1,7 +1,5 @@
 """Tests for discrete-event and annotation overlays."""
 
-import numpy as np
-import pytest
 
 from repro.core import (Annotation, AnnotationStore, DiscreteEventKind,
                         TopologyInfo, TraceBuilder)

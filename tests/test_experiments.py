@@ -1,11 +1,10 @@
 """Tests for the experiment harness and the paper's headline claims at
 test scale."""
 
-import numpy as np
 import pytest
 
 from repro import experiments
-from repro.core import WorkerState, locality_fraction
+from repro.core import locality_fraction
 from repro.runtime import (FirstTouch, NumaAwareScheduler, RandomPlacement,
                            RandomStealScheduler)
 

@@ -1,7 +1,6 @@
 """Tests for binary-search interval indexing (Section VI-B-c)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import interval_slice, point_slice, states_in_interval, \

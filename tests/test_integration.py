@@ -1,7 +1,6 @@
 """End-to-end integration tests: the full analysis pipelines the paper
 walks through, from simulation to trace file to rendered views."""
 
-import numpy as np
 import pytest
 
 from repro.core import (CounterIndex, TaskTypeFilter, WorkerState,
@@ -10,9 +9,9 @@ from repro.core import (CounterIndex, TaskTypeFilter, WorkerState,
                         interval_report, reconstruct_task_graph,
                         state_count_series, symbols_from_trace,
                         task_duration_histogram)
-from repro.render import (Framebuffer, HeatmapMode, NumaMode, StateMode,
-                          TimelineView, TypeMode, render_counter,
-                          render_matrix, render_timeline)
+from repro.render import (HeatmapMode, NumaMode, StateMode, TimelineView,
+                          TypeMode, render_counter, render_matrix,
+                          render_timeline)
 from repro.trace_format import read_trace, write_trace
 
 

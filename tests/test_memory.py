@@ -3,8 +3,8 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.runtime import (FirstTouch, Interleaved, Machine, MemoryManager,
-                           PAGE_SIZE, RandomPlacement)
+from repro.runtime import (Interleaved, Machine, MemoryManager, PAGE_SIZE,
+                           RandomPlacement)
 
 
 @pytest.fixture

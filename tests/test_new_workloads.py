@@ -5,9 +5,8 @@ import pytest
 from repro.core import graph_from_program, task_type_profile
 from repro.runtime import (Machine, RandomStealScheduler, TraceCollector,
                            fully_connected_machine, load_machine,
-                           machine_from_dict, machine_to_dict,
-                           mesh_machine, run_program, save_machine,
-                           validate_distances)
+                           machine_from_dict, mesh_machine, run_program,
+                           save_machine, validate_distances)
 from repro.workloads import (CholeskyConfig, PipelineConfig,
                              build_cholesky, build_pipeline)
 

@@ -20,7 +20,7 @@ class TestOpenMPFrontend:
         omp = OpenMPProgram(omp_machine)
         producer = omp.task("produce", 100, depend_out=["x"])
         consumer = omp.task("consume", 100, depend_in=["x"])
-        program = omp.finalize()
+        omp.finalize()
         assert consumer.dependencies == [producer]
 
     def test_depend_inout_chains(self, omp_machine):
@@ -75,7 +75,6 @@ class TestMergesort:
     def test_structure(self, omp_machine):
         program = build_mergesort(omp_machine, elements=1 << 14,
                                   leaf_elements=1 << 11)
-        graph = graph_from_program(program)
         leaves = [task for task in program.tasks
                   if task.task_type.name == "msort_leaf"]
         merges = [task for task in program.tasks
@@ -91,9 +90,6 @@ class TestMergesort:
         __, trace = run_program(
             program, RandomStealScheduler(omp_machine, seed=2),
             collector=collector)
-        merges = [execution for execution in trace.task_executions()
-                  if trace.task_types[execution.type_id].name
-                  == "msort_merge"]
         last = max(trace.task_executions(), key=lambda e: e.end)
         assert trace.task_types[last.type_id].name == "msort_merge"
 

@@ -153,9 +153,9 @@ class TestDependenceDerivation:
     def test_derived_graph_is_acyclic(self, machine):
         program = make_program(machine)
         region = program.allocate(100)
-        previous = program.spawn("w", 1, writes=[(region, 0, 100)])
+        program.spawn("w", 1, writes=[(region, 0, 100)])
         for __ in range(10):
-            previous = program.spawn(
+            program.spawn(
                 "w", 1, reads=[(region, 0, 100)],
                 writes=[(region, 0, 100)])
         program.finalize()

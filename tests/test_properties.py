@@ -3,13 +3,10 @@ whole pipeline (simulate -> trace -> analyze -> serialize)."""
 
 import io
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.core import (WorkerState, average_parallelism,
-                        graph_from_program, reconstruct_task_graph,
-                        state_time_summary)
+from repro.core import (average_parallelism, graph_from_program,
+                        reconstruct_task_graph, state_time_summary)
 from repro.runtime import (Machine, NumaAwareScheduler,
                            RandomStealScheduler, TraceCollector,
                            run_program)

@@ -1,6 +1,5 @@
 """Tests for the software framebuffer."""
 
-import numpy as np
 import pytest
 
 from repro.render import Framebuffer

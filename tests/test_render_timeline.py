@@ -6,9 +6,8 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import TopologyInfo, TraceBuilder, WorkerState
-from repro.render import (Framebuffer, HeatmapMode, NumaHeatmapMode,
-                          NumaMode, StateMode, TimelineView, TypeMode,
-                          render_timeline, state_color)
+from repro.render import (HeatmapMode, NumaHeatmapMode, NumaMode, StateMode,
+                          TimelineView, TypeMode, render_timeline, state_color)
 from repro.render.timeline import _predominant_keys
 
 

@@ -80,8 +80,8 @@ class TestSchedulingDelays:
         assert all(delay >= 0 for delay in delays.values())
 
     def test_serial_chain_has_small_delays(self, machine):
-        from repro.runtime import (RandomStealScheduler, SimConfig,
-                                   TraceCollector, run_program)
+        from repro.runtime import (RandomStealScheduler, TraceCollector,
+                                   run_program)
         from repro.workloads import build_chain
         program = build_chain(machine, length=5)
         collector = TraceCollector(machine)

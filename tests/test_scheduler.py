@@ -107,7 +107,7 @@ class TestNumaAwarePlacement:
     def test_local_steal_only_by_default(self, machine):
         scheduler = NumaAwareScheduler(machine, seed=0)
         program = Program(machine)
-        task = program.spawn("t", 1)
+        program.spawn("t", 1)
         # Queue the task on node 0 ...
         region = program.allocate(4096)
         program.memory.touch(region, 0, 4096, toucher_node=0)

@@ -1,13 +1,12 @@
 """Tests for the discrete-event simulator: execution invariants."""
 
-from collections import defaultdict
 
 import pytest
 
-from repro.core import WorkerState, graph_from_program
+from repro.core import WorkerState
 from repro.runtime import (Machine, NumaAwareScheduler, Program,
-                           RandomStealScheduler, SimConfig, Simulator,
-                           TraceCollector, run_program)
+                           RandomStealScheduler, SimConfig, TraceCollector,
+                           run_program)
 from repro.workloads import build_chain, build_fork_join, build_random_dag
 
 
@@ -174,8 +173,8 @@ class TestCostModel:
             machine = Machine(2, 1)
             program = Program(machine)
             region = program.allocate(64 * 4096)
-            setup = program.spawn("touch", 1,
-                                  writes=[(region, 0, region.size)])
+            program.spawn("touch", 1,
+                          writes=[(region, 0, region.size)])
             consumer = program.spawn("consume", 1,
                                      reads=[(region, 0, region.size)])
             program.finalize()

@@ -3,11 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core import (IntervalFilter, TaskTypeFilter, WorkerState,
-                        average_parallelism, communication_matrix,
-                        interval_report, locality_fraction,
-                        per_core_state_time, state_time_summary,
-                        steal_matrix, task_duration_histogram)
+from repro.core import (TaskTypeFilter, WorkerState, average_parallelism,
+                        communication_matrix, interval_report,
+                        locality_fraction, per_core_state_time,
+                        state_time_summary, steal_matrix,
+                        task_duration_histogram)
 
 
 class TestHistogram:

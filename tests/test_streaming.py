@@ -1,10 +1,8 @@
 """Tests for out-of-core streaming trace processing."""
 
-import numpy as np
 import pytest
 
-from repro.core import WorkerState, state_time_summary, \
-    task_duration_histogram
+from repro.core import state_time_summary, task_duration_histogram
 from repro.trace_format import (split_time_window, stream_records,
                                 streaming_statistics,
                                 streaming_task_histogram, write_trace)

@@ -1,6 +1,5 @@
 """Tests for task-graph reconstruction and analysis (Section III-A)."""
 
-import numpy as np
 import pytest
 
 from repro.core import (TaskGraph, export_dot, graph_from_program,

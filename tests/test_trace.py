@@ -4,8 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import (RegionInfo, TaskTypeInfo, TopologyInfo, Trace,
-                        TraceBuilder)
+from repro.core import RegionInfo, TopologyInfo, TraceBuilder
 
 
 def make_builder(nodes=2, cores_per_node=2):

@@ -2,11 +2,9 @@
 
 import io
 
-import numpy as np
 import pytest
 
-from repro.core import (CounterDescription, RegionInfo, TaskTypeInfo,
-                        TopologyInfo, TraceBuilder)
+from repro.core import CounterDescription, TopologyInfo, TraceBuilder
 from repro.trace_format import (FormatError, codec_for_path,
                                 open_trace_file, read_trace,
                                 read_trace_stream, write_trace)

@@ -56,7 +56,6 @@ class TestSeidelStructure:
     def test_compute_task_dependence_pattern(self, program):
         """An interior task depends on its own previous version and the
         four neighbor versions on the wave front."""
-        graph = graph_from_program(program)
         interior = [task for task in program.tasks
                     if task.task_type.name == "seidel_block"
                     and task.metadata["t"] == 1

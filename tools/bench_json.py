@@ -1,14 +1,20 @@
 #!/usr/bin/env python3
-"""Machine-readable perf trajectory: merge benchmark timings into a
-JSON file at the repository root.
+"""Machine-readable perf trajectory: merge benchmark timings into one
+JSON history file at the repository root.
 
 The per-figure benchmarks write human-readable series to
 ``benchmarks/results/``; this helper adds the machine-readable side —
-a single ``BENCH_PR4.json`` keyed by benchmark name, with one flat
-payload of timings/speedups per entry.  Benchmarks call
-:func:`record` (the benchmarks ``conftest.py`` puts ``tools/`` on
-``sys.path``); CI uploads the file as a workflow artifact, so every
-run leaves a comparable perf datapoint.
+a single ``BENCH_HISTORY.json`` with one section per PR generation
+(``pr4``, ``pr5``, ...), each keyed by benchmark name with one flat
+payload of timings/speedups per entry.  Benchmarks call :func:`record`
+(the benchmarks ``conftest.py`` puts ``tools/`` on ``sys.path``); CI
+uploads the file as a workflow artifact and ``tools/perf_gate.py``
+fails the build when a tracked metric drops below its floor.
+
+Concurrent writers are safe: the merge happens under an exclusive
+``flock`` on a sidecar lock file, and the current contents are
+re-read *inside* the lock — two bench modules recording at once can
+never lose each other's (or an unrelated section's) top-level keys.
 
 Run directly to pretty-print the current trajectory:
 
@@ -17,40 +23,81 @@ Run directly to pretty-print the current trajectory:
 
 from __future__ import annotations
 
+import contextlib
 import json
 import pathlib
 
+try:
+    import fcntl
+except ImportError:                       # non-POSIX: degrade politely
+    fcntl = None
+
 ROOT = pathlib.Path(__file__).resolve().parent.parent
-DEFAULT_PATH = ROOT / "BENCH_PR4.json"
+DEFAULT_PATH = ROOT / "BENCH_HISTORY.json"
+
+#: The default section new benchmarks record into.
+CURRENT_SECTION = "pr5"
 
 
-def record(name, payload, path=None):
-    """Merge ``{name: payload}`` into the trajectory file.
+@contextlib.contextmanager
+def _locked(path):
+    """Hold an exclusive advisory lock tied to ``path`` (no-op where
+    ``fcntl`` is unavailable)."""
+    if fcntl is None:
+        yield
+        return
+    lock_path = path.with_suffix(path.suffix + ".lock")
+    with open(lock_path, "w") as lock:
+        fcntl.flock(lock, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(lock, fcntl.LOCK_UN)
+
+
+def _load(path):
+    """The history dict currently on disk ({} when absent/corrupt)."""
+    if not path.exists():
+        return {}
+    try:
+        entries = json.loads(path.read_text())
+    except ValueError:
+        return {}
+    return entries if isinstance(entries, dict) else {}
+
+
+def record(name, payload, section=CURRENT_SECTION, path=None):
+    """Merge ``{section: {name: payload}}`` into the history file.
 
     ``payload`` must be JSON-serializable (flat dicts of floats/ints/
-    strings by convention).  Existing entries under other names are
-    preserved; recording the same name twice overwrites it.  Returns
-    the path written.
+    strings by convention).  Existing entries — under other names *and*
+    other sections — are preserved; recording the same
+    ``(section, name)`` twice overwrites that entry only.  The
+    read-merge-write cycle runs under a file lock, so concurrent bench
+    modules cannot clobber each other.  Returns the path written.
     """
     path = DEFAULT_PATH if path is None else pathlib.Path(path)
-    entries = {}
-    if path.exists():
-        try:
-            entries = json.loads(path.read_text())
-        except ValueError:
-            entries = {}
-    entries[str(name)] = payload
-    path.write_text(json.dumps(entries, indent=2, sort_keys=True) + "\n")
+    with _locked(path):
+        entries = _load(path)
+        entries.setdefault(str(section), {})[str(name)] = payload
+        path.write_text(json.dumps(entries, indent=2, sort_keys=True)
+                        + "\n")
     return path
 
 
+def load_history(path=None):
+    """The full history dict (sections -> benchmark name -> payload)."""
+    path = DEFAULT_PATH if path is None else pathlib.Path(path)
+    return _load(path)
+
+
 def main():
+    """Pretty-print the current trajectory file."""
     if not DEFAULT_PATH.exists():
         print("no trajectory recorded yet:", DEFAULT_PATH)
         return
     print(DEFAULT_PATH)
-    print(json.dumps(json.loads(DEFAULT_PATH.read_text()), indent=2,
-                     sort_keys=True))
+    print(json.dumps(load_history(), indent=2, sort_keys=True))
 
 
 if __name__ == "__main__":

@@ -1,12 +1,12 @@
 #!/usr/bin/env python3
-"""Docstring-presence lint for the public trace-format API.
+"""Docstring-presence lint for the public analysis-stack API.
 
 Every public module, class, function and method in
-``src/repro/trace_format/`` (and, while we are at it,
-``src/repro/analysis/``) must carry a docstring: these are the layers
-external tools integrate against, so the documentation contract is
-enforced in CI.  "Public" means the name does not start with an
-underscore and the module is not private.
+``src/repro/trace_format/``, ``src/repro/analysis/``,
+``src/repro/core/`` and ``src/repro/render/`` must carry a docstring:
+these are the layers external tools integrate against, so the
+documentation contract is enforced in CI.  "Public" means the name
+does not start with an underscore and the module is not private.
 
 Exit status 0 when clean, 1 with one line per offender otherwise.
 
@@ -19,7 +19,8 @@ import ast
 import pathlib
 import sys
 
-DEFAULT_TARGETS = ("src/repro/trace_format", "src/repro/analysis")
+DEFAULT_TARGETS = ("src/repro/trace_format", "src/repro/analysis",
+                   "src/repro/core", "src/repro/render")
 
 
 def _is_public(name):

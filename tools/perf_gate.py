@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""CI perf gate: fail the build when a tracked metric regresses.
+
+``BENCH_HISTORY.json`` (see ``tools/bench_json.py``) carries the
+machine-readable perf trajectory, one section per PR generation.  This
+tool turns it from a passive artifact into an enforced floor: every
+tracked metric in a freshly produced history must
+
+1. stay at or above its **asserted floor** (the same bound the bench
+   itself asserts at default scale — the hard line), and
+2. with ``--slack`` above zero, not collapse versus the **committed
+   baseline** — the checked-in ``BENCH_HISTORY.json`` of the branch
+   point.  The default slack is 0.0 (report the baseline next to each
+   metric, never fail on it): the committed numbers come from a
+   different machine class than the runner, so only an explicit slack
+   turns the comparison into a gate.
+
+Entries recorded at the ``small`` scale are skipped with a notice:
+constant overheads dominate there and the benches themselves skip
+their assertions.  A tracked metric missing from the fresh history is
+an error — a silently vanished benchmark must not pass the gate.
+
+Usage:
+
+    python tools/perf_gate.py [--history BENCH_HISTORY.json]
+                              [--baseline path/to/committed.json]
+                              [--slack 0.5]
+
+Exit status 0 when every tracked metric holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from dataclasses import dataclass
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_HISTORY = ROOT / "BENCH_HISTORY.json"
+
+
+@dataclass(frozen=True)
+class TrackedMetric:
+    """One enforced entry of the perf history (higher is better)."""
+
+    section: str
+    bench: str
+    metric: str
+    floor: float
+
+    @property
+    def key(self):
+        """The dotted name used in reports."""
+        return "{}/{}/{}".format(self.section, self.bench, self.metric)
+
+
+#: Every metric the gate enforces, with the floor its bench asserts.
+TRACKED = (
+    TrackedMetric("pr4", "cache_reopen", "reopen_speedup", 5.0),
+    TrackedMetric("pr4", "frame_loop", "frame_speedup", 10.0),
+    TrackedMetric("pr5", "sweep_scaling", "pool_speedup", 3.0),
+)
+
+
+def _entry(history, tracked):
+    """The payload dict of one tracked benchmark (None when absent)."""
+    return history.get(tracked.section, {}).get(tracked.bench)
+
+
+def check_history(history, baseline=None, slack=0.0):
+    """Evaluate every tracked metric; returns (failures, lines).
+
+    ``failures`` is a list of human-readable failure strings (empty
+    when the gate passes); ``lines`` is the full per-metric report.
+    ``baseline``, when given, is the committed history to diff
+    against: with ``slack > 0``, a fresh value below
+    ``baseline * slack`` fails even when it still clears the floor
+    (at the default 0.0 the baseline is reported, never enforced —
+    cross-machine speedups are not directly comparable).
+    """
+    failures = []
+    lines = []
+    for tracked in TRACKED:
+        entry = _entry(history, tracked)
+        if entry is None:
+            failures.append("{}: missing from history (benchmark did "
+                            "not run?)".format(tracked.key))
+            continue
+        if entry.get("scale") == "small":
+            lines.append("{}: skipped (recorded at small scale)"
+                         .format(tracked.key))
+            continue
+        if entry.get("gate") == "skip":
+            lines.append("{}: skipped ({})".format(
+                tracked.key, entry.get("gate_reason", "bench opted "
+                                       "out")))
+            continue
+        value = entry.get(tracked.metric)
+        if value is None:
+            failures.append("{}: metric missing from payload"
+                            .format(tracked.key))
+            continue
+        value = float(value)
+        status = "{}: {:.2f} (floor {:.2f}".format(
+            tracked.key, value, tracked.floor)
+        if value < tracked.floor:
+            failures.append("{}: {:.2f} is below the floor {:.2f}"
+                            .format(tracked.key, value, tracked.floor))
+        if baseline is not None:
+            reference = _entry(baseline, tracked)
+            # Baselines recorded at small scale or explicitly opted
+            # out are not comparable to a default-scale fresh run —
+            # the floor stays the only check then.
+            if reference is not None and (
+                    reference.get("scale") == "small"
+                    or reference.get("gate") == "skip"):
+                reference = None
+            reference_value = (reference or {}).get(tracked.metric)
+            if reference_value is not None:
+                reference_value = float(reference_value)
+                status += ", baseline {:.2f}".format(reference_value)
+                allowed = reference_value * slack
+                if slack > 0 and value < allowed:
+                    failures.append(
+                        "{}: {:.2f} regressed below {:.2f} "
+                        "({}% of the committed baseline {:.2f})"
+                        .format(tracked.key, value, allowed,
+                                int(slack * 100), reference_value))
+        lines.append(status + ")")
+    return failures, lines
+
+
+def _load(path):
+    """Parse one history file, with a clear error on failure."""
+    try:
+        return json.loads(pathlib.Path(path).read_text())
+    except (OSError, ValueError) as error:
+        raise SystemExit("perf-gate: cannot read {}: {}".format(path,
+                                                                error))
+
+
+def main(argv=None):
+    """Command-line entry point; returns the exit status."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--history", default=str(DEFAULT_HISTORY),
+                        help="freshly produced history to check")
+    parser.add_argument("--baseline", default=None,
+                        help="committed history to diff against")
+    parser.add_argument("--slack", type=float, default=0.0,
+                        help="fraction of the baseline value below "
+                             "which a metric fails (0 = report only)")
+    args = parser.parse_args(argv)
+    history = _load(args.history)
+    baseline = _load(args.baseline) if args.baseline else None
+    failures, lines = check_history(history, baseline=baseline,
+                                    slack=args.slack)
+    for line in lines:
+        print("perf-gate:", line)
+    if failures:
+        for failure in failures:
+            print("perf-gate: FAIL:", failure)
+        return 1
+    print("perf-gate: {} tracked metric(s) ok".format(len(TRACKED)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
