@@ -1,0 +1,88 @@
+"""Extension — format-plural trace ingestion throughput.
+
+The ingestion registry (``repro.trace_format.ingest``) lets every
+analysis run on foreign traces: Paraver ``.prv`` and Chrome
+trace-event JSON files dispatch by content sniffing and load into the
+same stores as native files.  This bench pins the cost of that
+frontend: one fixed-size corpus (scale-independent, so the number is
+comparable across machines and CI scales) is exported to every
+registered format and ingested back, single-core, with the throughput
+recorded as the always-enforced ``pr6/ingest_throughput`` metric of
+``tools/perf_gate.py`` — unlike the pool-scaling benches, this floor
+holds even on a 1-CPU runner, so it is never skipped.
+
+Mapping: docs/paper-mapping.md.
+"""
+
+import time
+
+import pytest
+
+from bench_json import record
+from figutils import write_result
+from repro.trace_format import (export_chrome, export_paraver,
+                                ingest_trace, read_trace)
+from repro.trace_format.synthesize import write_synthetic_trace
+
+#: Event records in the fixed corpus (deliberately NOT scaled by
+#: REPRO_SCALE: an always-enforced gate needs a stable denominator).
+CORPUS_EVENTS = 40_000
+
+#: Events/second every format must sustain on one core.  The local
+#: reference machine ingests 175k-260k events/s per format; the floor
+#: leaves >= 17x headroom for slow CI runners, and the perf gate
+#: enforces it at *every* scale (gate: always).
+FLOOR_EVENTS_PER_SEC = 10_000.0
+
+
+@pytest.fixture(scope="module")
+def ingest_corpus(tmp_path_factory):
+    """One synthetic trace exported to every registered format."""
+    directory = tmp_path_factory.mktemp("ingest")
+    native = str(directory / "corpus.ost")
+    write_synthetic_trace(native, events=CORPUS_EVENTS, nodes=2,
+                          cores_per_node=4, task_types=5, seed=9)
+    trace = read_trace(native)
+    paraver = str(directory / "corpus.prv")
+    chrome = str(directory / "corpus.json")
+    export_paraver(trace, paraver)
+    export_chrome(trace, chrome)
+    paths = {"native": native, "paraver": paraver, "chrome": chrome}
+    return trace, paths
+
+
+def test_ingest_throughput(scale, ingest_corpus):
+    """Always-enforced criterion: every registered source ingests the
+    corpus at >= 10k events/s on a single core, with the task stream
+    preserved exactly."""
+    trace, paths = ingest_corpus
+    throughput = {}
+    for name, path in sorted(paths.items()):
+        seconds = []
+        for __ in range(3):
+            begin = time.perf_counter()
+            ingested = ingest_trace(path)
+            seconds.append(time.perf_counter() - begin)
+        assert len(ingested.tasks) == len(trace.tasks), name
+        throughput[name] = CORPUS_EVENTS / min(seconds)
+    slowest = min(throughput.values())
+    write_result("ext_ingest", [
+        "Extension: format-plural ingestion registry",
+        "one {}-event corpus, ingested single-core per format:".format(
+            CORPUS_EVENTS),
+    ] + ["  {:8s} {:>10.0f} events/s".format(name, value)
+         for name, value in sorted(throughput.items())] + [
+        "slowest format: {:.0f} events/s (floor: {:.0f}, enforced "
+        "at every scale)".format(slowest, FLOOR_EVENTS_PER_SEC),
+    ])
+    record("ingest_throughput", {
+        "scale": scale, "events": CORPUS_EVENTS,
+        "gate": "always",
+        "events_per_sec": slowest,
+        "native_events_per_sec": throughput["native"],
+        "paraver_events_per_sec": throughput["paraver"],
+        "chrome_events_per_sec": throughput["chrome"],
+    }, section="pr6")
+    # No scale gate here on purpose: the corpus is fixed-size and the
+    # path is single-core, so the floor must hold everywhere.
+    assert slowest >= FLOOR_EVENTS_PER_SEC

@@ -3,7 +3,10 @@
 
 The GUI of the paper is replaced by subcommands over the same analysis
 core.  Traces are the binary files written by
-:func:`repro.trace_format.write_trace` (optionally .gz/.bz2/.xz).
+:func:`repro.trace_format.write_trace` (optionally .gz/.bz2/.xz) —
+or any other registered format (Paraver ``.prv``, Chrome trace-event
+JSON): every subcommand sniffs the input through the ingestion
+registry, and ``ingest`` converts foreign files to native explicitly.
 
     python examples/aftermath_cli.py info trace.ost.gz
     python examples/aftermath_cli.py report trace.ost.gz --start 0 \
@@ -21,6 +24,7 @@ core.  Traces are the binary files written by
     python examples/aftermath_cli.py task trace.ost.gz 17
     python examples/aftermath_cli.py compare base.ost cand.ost
     python examples/aftermath_cli.py sweep a.ost b.ost c.ost d.ost
+    python examples/aftermath_cli.py ingest trace.prv trace.ost
 
 (Generate a trace first, e.g. with examples/quickstart.py.)
 """
@@ -36,15 +40,19 @@ from repro.core import (TaskTypeFilter, communication_matrix,
 from repro.render import (HeatmapMode, NumaHeatmapMode, NumaMode,
                           StateMode, TimelineView, TypeMode,
                           matrix_to_text, render_timeline)
-from repro.trace_format import read_trace
+from repro.trace_format import (detect_source, ingest_trace, read_trace,
+                                registered_sources, write_trace)
 
 def load_trace(args):
-    """Open the trace of a subcommand; ``--cache`` routes the open
+    """Open the trace of a subcommand through the ingestion registry,
+    so every subcommand accepts any registered format (native,
+    Paraver ``.prv``, Chrome JSON); ``--cache`` routes native opens
     through the memory-mapped ``.ostc`` sidecar (first use writes it,
     later runs map it back without re-parsing)."""
-    if getattr(args, "cache", False):
+    if getattr(args, "cache", False) \
+            and detect_source(args.trace).name == "native":
         return read_trace(args.trace, cache=True)
-    return read_trace(args.trace)
+    return ingest_trace(args.trace)
 
 
 MODES = {
@@ -165,6 +173,18 @@ def cmd_task(args):
     print(task_details(trace, args.task_id).describe())
 
 
+def cmd_ingest(args):
+    """Normalize a foreign trace into the native indexed format."""
+    source = (detect_source(args.trace) if args.format is None
+              else next(s for s in registered_sources()
+                        if s.name == args.format))
+    trace = source.load(args.trace)
+    records = write_trace(trace, args.output, index=True)
+    print("ingested {} via {} source: {} cores, {} tasks".format(
+        args.trace, source.name, trace.num_cores, len(trace.tasks)))
+    print("wrote {} ({} records)".format(args.output, records))
+
+
 def cmd_compare(args):
     """Diff a candidate trace against a baseline (experiment engine)."""
     from repro.analysis.experiments import (DiffTolerances,
@@ -259,6 +279,16 @@ def main(argv=None):
 
     task = with_trace("task", cmd_task)
     task.add_argument("task_id", type=int)
+
+    ingest = commands.add_parser(
+        "ingest", help="convert any registered trace format to native")
+    ingest.add_argument("trace", help="input file (.ost, .prv, .json)")
+    ingest.add_argument("output", help="native indexed trace to write")
+    ingest.add_argument("--format", default=None,
+                        choices=sorted(source.name for source
+                                       in registered_sources()),
+                        help="force a source instead of sniffing")
+    ingest.set_defaults(handler=cmd_ingest)
 
     compare = commands.add_parser(
         "compare", help="diff a candidate trace against a baseline")

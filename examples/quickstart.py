@@ -2,7 +2,7 @@
 """Quickstart: simulate a task-parallel run, trace it, analyze it.
 
 This script is the runnable version of the README's quickstart.  It
-walks the full pipeline in nine steps:
+walks the full pipeline in ten steps:
 
 1. build a NUMA machine and the seidel task graph;
 2. execute it on the simulated work-stealing run-time with tracing;
@@ -22,7 +22,12 @@ walks the full pipeline in nine steps:
 9. run a *two-trace compare* through the experiment engine: a second
    run under another stealing seed is diffed against the first
    (state-time deltas, distribution shifts, anomaly counts) and both
-   timelines render side by side on one shared time axis.
+   timelines render side by side on one shared time axis;
+10. go *format-plural*: export the trace as Paraver ``.prv`` and
+    Chrome trace-event JSON, ingest both back through the trace-source
+    registry (which sniffs the format), and check the statistics
+    match the native store — the analyses are runtime- and
+    format-agnostic.
 
 Run:  python examples/quickstart.py [output-directory]
 """
@@ -168,6 +173,27 @@ def main(output_dir="."):
     panel_path = "{}/quickstart_compare.ppm".format(output_dir)
     panel.save_ppm(panel_path)
     print("side-by-side comparison written to", panel_path)
+
+    # 10. Format-plural ingestion: the same trace through foreign
+    #     formats.  Paraver drops memory accesses (documented lossy),
+    #     so the parity check compares statistics; the Chrome JSON
+    #     round trip is exact, so it checks full store equality.
+    from repro.core import state_time_summary
+    from repro.trace_format import (detect_source, export_chrome,
+                                    export_paraver, ingest_trace)
+    prv_path = "{}/quickstart.prv".format(output_dir)
+    json_path = "{}/quickstart.json".format(output_dir)
+    export_paraver(trace, prv_path)
+    export_chrome(trace, json_path)
+    print("\ningestion registry: {} -> {}, {} -> {}".format(
+        os.path.basename(prv_path), detect_source(prv_path).name,
+        os.path.basename(json_path), detect_source(json_path).name))
+    from_paraver = ingest_trace(prv_path)
+    from_chrome = ingest_trace(json_path)
+    print("paraver round trip keeps state times:",
+          state_time_summary(from_paraver) == state_time_summary(trace))
+    print("chrome round trip is exact:",
+          traces_equal(from_chrome, trace))
 
 
 if __name__ == "__main__":

@@ -28,26 +28,30 @@ from .aggregate import (SweepRow, SweepTable, merged_comm_matrix,
                         speedup_curve, sweep_table)
 from .diff import (DiffEntry, DiffTolerances, EXACT, TraceDiffReport,
                    diff_trace_files, diff_traces, distribution_shift)
-from .harness import (KMEANS_SIM_CONFIG, PRESETS, ScalePreset,
-                      kmeans_machine, kmeans_makespan, kmeans_trace,
-                      preset, runtime_pair, seidel_machine, seidel_trace)
+from .harness import (KMEANS_SIM_CONFIG, PIPELINE_FRAMES, PRESETS,
+                      ScalePreset, WAVEFRONT_ORDERS, kmeans_machine,
+                      kmeans_makespan, kmeans_trace, pipeline_trace,
+                      preset, runtime_pair, seidel_machine, seidel_trace,
+                      wavefront_trace)
 from .render import (render_matrices_side_by_side, render_state_overlay,
                      render_timelines_side_by_side)
 from .suite import (ExperimentSpec, TraceSummary, analyze_traces,
-                    block_size_sweep, run_and_analyze, run_suite,
-                    scheduler_sweep, summarize_trace, synthetic_sweep)
+                    block_size_sweep, fault_sweep, run_and_analyze,
+                    run_suite, scheduler_sweep, summarize_trace,
+                    synthetic_sweep)
 
 __all__ = [
     "SweepRow", "SweepTable", "merged_comm_matrix", "merged_statistics",
     "merged_task_histogram", "speedup_curve", "sweep_table",
     "DiffEntry", "DiffTolerances", "EXACT", "TraceDiffReport",
     "diff_trace_files", "diff_traces", "distribution_shift",
-    "KMEANS_SIM_CONFIG", "PRESETS", "ScalePreset", "kmeans_machine",
-    "kmeans_makespan", "kmeans_trace", "preset", "runtime_pair",
-    "seidel_machine", "seidel_trace",
+    "KMEANS_SIM_CONFIG", "PIPELINE_FRAMES", "PRESETS", "ScalePreset",
+    "WAVEFRONT_ORDERS", "kmeans_machine",
+    "kmeans_makespan", "kmeans_trace", "pipeline_trace", "preset",
+    "runtime_pair", "seidel_machine", "seidel_trace", "wavefront_trace",
     "render_matrices_side_by_side", "render_state_overlay",
     "render_timelines_side_by_side",
     "ExperimentSpec", "TraceSummary", "analyze_traces",
-    "block_size_sweep", "run_and_analyze", "run_suite",
+    "block_size_sweep", "fault_sweep", "run_and_analyze", "run_suite",
     "scheduler_sweep", "summarize_trace", "synthetic_sweep",
 ]

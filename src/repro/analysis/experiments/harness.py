@@ -24,8 +24,9 @@ from dataclasses import dataclass
 from ...runtime import (Machine, MemoryManager, NumaAwareScheduler,
                         RandomPlacement, RandomStealScheduler, SimConfig,
                         TraceCollector, run_program)
-from ...workloads import (KmeansConfig, SeidelConfig, build_kmeans,
-                          build_seidel)
+from ...workloads import (KmeansConfig, PipelineConfig, SeidelConfig,
+                          WavefrontConfig, build_kmeans, build_pipeline,
+                          build_seidel, build_wavefront)
 
 
 @dataclass(frozen=True)
@@ -95,7 +96,7 @@ def kmeans_machine(scale=None):
 
 def seidel_trace(optimized=True, scale=None, machine=None, config=None,
                  collect_rusage=True, collect_accesses=True, seed=0,
-                 sim_config=None):
+                 sim_config=None, faults=None):
     """Run seidel under one configuration; returns (result, trace)."""
     active = preset(scale)
     machine = machine if machine is not None else seidel_machine(scale)
@@ -108,7 +109,7 @@ def seidel_trace(optimized=True, scale=None, machine=None, config=None,
     collector = TraceCollector(machine, collect_rusage=collect_rusage,
                                collect_accesses=collect_accesses)
     return run_program(program, scheduler, collector=collector,
-                       config=sim_config)
+                       config=sim_config, faults=faults)
 
 
 #: The paper's k-means runs on a production OpenStream run-time whose
@@ -121,7 +122,7 @@ KMEANS_SIM_CONFIG = SimConfig(create_cost=80)
 def kmeans_trace(optimized=True, scale=None, machine=None, config=None,
                  block_size=10_000, optimize_branches=False,
                  collect_rusage=False, collect_accesses=True, seed=0,
-                 sim_config=None):
+                 sim_config=None, faults=None):
     """Run k-means under one configuration; returns (result, trace)."""
     active = preset(scale)
     machine = machine if machine is not None else kmeans_machine(scale)
@@ -135,7 +136,57 @@ def kmeans_trace(optimized=True, scale=None, machine=None, config=None,
     collector = TraceCollector(machine, collect_rusage=collect_rusage,
                                collect_accesses=collect_accesses)
     return run_program(program, scheduler, collector=collector,
-                       config=sim_config or KMEANS_SIM_CONFIG)
+                       config=sim_config or KMEANS_SIM_CONFIG,
+                       faults=faults)
+
+
+#: Wavefront grid order and pipeline frame count per scale preset.
+WAVEFRONT_ORDERS = {"small": 12, "default": 20, "paper": 64}
+PIPELINE_FRAMES = {"small": 48, "default": 96, "paper": 512}
+
+
+def wavefront_trace(optimized=True, scale=None, machine=None,
+                    config=None, seed=0, sim_config=None, faults=None,
+                    collect_accesses=True):
+    """Run the wavefront DAG under one configuration; returns
+    ``(result, trace)``.  ``faults`` optionally plants a
+    :class:`repro.runtime.faults.FaultInjectionConfig`."""
+    active = preset(scale)
+    # Wavefront parallelism is capped by the diagonal (= order), so a
+    # narrower machine keeps cores meaningfully loaded.
+    machine = machine if machine is not None else Machine(2, 4,
+                                                          name="wavefront")
+    if config is None:
+        config = WavefrontConfig(order=WAVEFRONT_ORDERS[active.name],
+                                 seed=seed)
+    memory, scheduler = runtime_pair(machine, optimized, seed=seed)
+    program = build_wavefront(machine, config, memory=memory)
+    collector = TraceCollector(machine,
+                               collect_accesses=collect_accesses)
+    return run_program(program, scheduler, collector=collector,
+                       config=sim_config, faults=faults)
+
+
+def pipeline_trace(optimized=True, scale=None, machine=None,
+                   config=None, seed=0, sim_config=None, faults=None,
+                   straggler_stage=-1, collect_accesses=True):
+    """Run the streaming pipeline under one configuration; returns
+    ``(result, trace)``.  ``straggler_stage >= 0`` plants periodic
+    application-level stragglers in that stage (the
+    pipeline-with-stragglers scenario); ``faults`` additionally
+    plants machine-level faults."""
+    active = preset(scale)
+    machine = machine if machine is not None else Machine(4, 4,
+                                                          name="pipeline")
+    if config is None:
+        config = PipelineConfig(frames=PIPELINE_FRAMES[active.name],
+                                straggler_stage=straggler_stage)
+    memory, scheduler = runtime_pair(machine, optimized, seed=seed)
+    program = build_pipeline(machine, config, memory=memory)
+    collector = TraceCollector(machine,
+                               collect_accesses=collect_accesses)
+    return run_program(program, scheduler, collector=collector,
+                       config=sim_config, faults=faults)
 
 
 def kmeans_makespan(block_size, scale=None, machine=None, seed=0,

@@ -43,12 +43,15 @@ from . import harness
 class ExperimentSpec:
     """One point of a parameter sweep.
 
-    ``workload`` selects the generator: ``"seidel"`` and ``"kmeans"``
-    run the paper's applications through the simulator;
-    ``"synthetic"`` writes a synthetic trace file directly (cheap, for
-    scale tests).  ``params`` carries the swept values (for example
-    ``("block_size", 10000)`` pairs) and is what the aggregation layer
-    groups summary tables by.
+    ``workload`` selects the generator: ``"seidel"``, ``"kmeans"``,
+    ``"wavefront"`` and ``"pipeline"`` run applications through the
+    simulator; ``"synthetic"`` writes a synthetic trace file directly
+    (cheap, for scale tests).  ``params`` carries the swept values
+    (for example ``("block_size", 10000)`` pairs) and is what the
+    aggregation layer groups summary tables by.  ``faults`` carries a
+    :class:`repro.runtime.faults.FaultInjectionConfig` as a tuple of
+    ``(field, value)`` pairs (kept flat so specs stay hashable and
+    picklable across pool workers); the empty tuple plants nothing.
     """
 
     name: str
@@ -59,10 +62,19 @@ class ExperimentSpec:
     block_size: Optional[int] = None
     events: int = 50_000
     params: Tuple[Tuple[str, object], ...] = ()
+    faults: Tuple[Tuple[str, object], ...] = ()
 
     def param_dict(self):
         """The swept parameters as a plain dict (JSON-friendly)."""
         return dict(self.params)
+
+    def fault_config(self):
+        """The spec's :class:`FaultInjectionConfig` (None when the
+        spec plants no faults)."""
+        if not self.faults:
+            return None
+        from ...runtime.faults import FaultInjectionConfig
+        return FaultInjectionConfig(**dict(self.faults))
 
     def trace_filename(self):
         """The suite-directory file name of this spec's trace."""
@@ -91,6 +103,33 @@ def block_size_sweep(block_sizes, scale="small", seed=0):
                        block_size=int(block_size),
                        params=(("block_size", int(block_size)),))
         for block_size in block_sizes
+    ]
+
+
+def fault_sweep(workload="wavefront", scale="small", seed=0,
+                straggler_core=2, throttle_core=1,
+                throttle_window=(1_500_000, 4_500_000)):
+    """The fault-injection scenario zoo: one clean run plus one spec
+    per planted fault family (straggler core, frequency-throttle
+    window), all over the same workload and seed so the clean trace
+    is the controlled baseline the detector tests diff against."""
+    start, end = throttle_window
+    return [
+        ExperimentSpec(name="{}_clean".format(workload),
+                       workload=workload, scale=scale, seed=seed,
+                       params=(("fault", "none"),)),
+        ExperimentSpec(name="{}_straggler".format(workload),
+                       workload=workload, scale=scale, seed=seed,
+                       params=(("fault", "straggler"),),
+                       faults=(("straggler_cores", (straggler_core,)),
+                               ("straggler_factor", 4.0))),
+        ExperimentSpec(name="{}_throttle".format(workload),
+                       workload=workload, scale=scale, seed=seed,
+                       params=(("fault", "throttle"),),
+                       faults=(("throttle_cores", (throttle_core,)),
+                               ("throttle_factor", 3.0),
+                               ("throttle_start", int(start)),
+                               ("throttle_end", int(end)))),
     ]
 
 
@@ -218,22 +257,32 @@ def _run_spec(job):
     spec and write its indexed trace file plus ``.ostc`` sidecar."""
     spec, directory = job
     path = os.path.join(directory, spec.trace_filename())
+    faults = spec.fault_config()
     if spec.workload == "synthetic":
         from ...trace_format.synthesize import write_synthetic_trace
-        write_synthetic_trace(path, events=spec.events, seed=spec.seed)
+        write_synthetic_trace(path, events=spec.events, seed=spec.seed,
+                              faults=faults)
     else:
         from ...trace_format import write_trace
         if spec.workload == "seidel":
             __, trace = harness.seidel_trace(
                 optimized=spec.optimized, scale=spec.scale,
-                seed=spec.seed)
+                seed=spec.seed, faults=faults)
         elif spec.workload == "kmeans":
             kwargs = {}
             if spec.block_size is not None:
                 kwargs["block_size"] = spec.block_size
             __, trace = harness.kmeans_trace(
                 optimized=spec.optimized, scale=spec.scale,
-                seed=spec.seed, **kwargs)
+                seed=spec.seed, faults=faults, **kwargs)
+        elif spec.workload == "wavefront":
+            __, trace = harness.wavefront_trace(
+                optimized=spec.optimized, scale=spec.scale,
+                seed=spec.seed, faults=faults)
+        elif spec.workload == "pipeline":
+            __, trace = harness.pipeline_trace(
+                optimized=spec.optimized, scale=spec.scale,
+                seed=spec.seed, faults=faults)
         else:
             raise ValueError("unknown workload {!r}".format(
                 spec.workload))

@@ -8,9 +8,10 @@ tables and annotations.
 from .annotations import Annotation, AnnotationStore
 from .columnar import ColumnarBuilder, ColumnarTrace, LaneStack, traces_equal
 from .anomalies import (Anomaly, CounterCorrelation, correlate_counters,
-                        detect_duration_outliers, detect_idle_phases,
+                        detect_duration_outliers,
+                        detect_frequency_throttling, detect_idle_phases,
                         detect_load_imbalance, detect_locality_anomalies,
-                        scan)
+                        detect_stragglers, scan)
 from .derived import (AggregatedCounter, AverageTaskDuration,
                       BytesBetweenNodes, Derivative, DerivedMetric,
                       DerivedMetricMenu, DerivedSeries, Ratio,
@@ -58,8 +59,9 @@ from .trace import RegionLookup, Trace, TraceBuilder, merge_counter_series
 __all__ = [
     "Annotation", "AnnotationStore", "Anomaly", "CounterCorrelation",
     "correlate_counters", "detect_duration_outliers",
-    "detect_idle_phases", "detect_load_imbalance",
-    "detect_locality_anomalies", "scan", "AggregatedCounter",
+    "detect_frequency_throttling", "detect_idle_phases",
+    "detect_load_imbalance", "detect_locality_anomalies",
+    "detect_stragglers", "scan", "AggregatedCounter",
     "AverageTaskDuration", "BytesBetweenNodes", "Derivative",
     "DerivedMetric", "DerivedMetricMenu", "DerivedSeries", "Ratio",
     "WorkersInState", "DataEndpoint", "TaskDetails",

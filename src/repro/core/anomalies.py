@@ -19,7 +19,11 @@ Detectors cover the anomaly families the paper studies manually:
   diverges (Section III-C);
 * :func:`correlate_counters` — ranks every recorded hardware counter
   by the strength of its linear relationship with task duration, the
-  automated form of the Section V investigation.
+  automated form of the Section V investigation;
+* :func:`detect_stragglers` / :func:`detect_frequency_throttling` —
+  cores that run tasks slower than their peers, for the whole run or
+  only inside a time window; the fault-injection scenarios of
+  :mod:`repro.runtime.faults` give both planted ground truth.
 """
 
 from __future__ import annotations
@@ -220,6 +224,137 @@ def detect_load_imbalance(trace, num_intervals=10, threshold=0.25):
     return anomalies
 
 
+def _per_type_core_means(trace, min_tasks):
+    """Per-(core, type) mean task durations and counts.
+
+    Returns ``(means, counts)`` arrays of shape (cores, types) — the
+    shared normalization step of the straggler and throttling
+    detectors.  Types are normalized separately because a core that
+    happens to run only long task types is not slow."""
+    columns = trace.tasks.columns
+    durations = (columns["end"] - columns["start"]).astype(np.float64)
+    num_types = int(columns["type_id"].max()) + 1 if len(durations) \
+        else 0
+    means = np.zeros((trace.num_cores, num_types), dtype=np.float64)
+    counts = np.zeros((trace.num_cores, num_types), dtype=np.int64)
+    np.add.at(means, (columns["core"], columns["type_id"]), durations)
+    np.add.at(counts, (columns["core"], columns["type_id"]), 1)
+    with np.errstate(invalid="ignore"):
+        means = np.where(counts > 0, means / np.maximum(counts, 1),
+                         np.nan)
+    return means, counts
+
+
+def detect_stragglers(trace, ratio_threshold=1.7, min_tasks=5):
+    """Cores that execute tasks consistently slower than their peers.
+
+    The whole-run form of the paper's per-core bottleneck hunts: for
+    every task type, the per-core mean duration is compared against
+    the *median core's* mean (robust to the stragglers themselves);
+    a core whose task-weighted slowdown across types exceeds
+    ``ratio_threshold`` is flagged.  One anomaly per straggler core,
+    severity = the slowdown ratio.
+    """
+    anomalies = []
+    means, counts = _per_type_core_means(trace, min_tasks)
+    if not means.size:
+        return anomalies
+    # Baseline per type: the median of the per-core means over cores
+    # that ran that type (NaN-aware), i.e. the typical core.
+    with np.errstate(all="ignore"):
+        baseline = np.nanmedian(means, axis=0)
+    columns = trace.tasks.columns
+    type_names = {info.type_id: info.name for info in trace.task_types}
+    for core in range(trace.num_cores):
+        ran = (counts[core] > 0) & (baseline > 0)
+        total = int(counts[core][ran].sum())
+        if total < min_tasks:
+            continue
+        ratios = means[core][ran] / baseline[ran]
+        ratio = float(np.average(ratios, weights=counts[core][ran]))
+        if ratio < ratio_threshold:
+            continue
+        worst = int(np.flatnonzero(ran)[np.argmax(ratios)])
+        mask = columns["core"] == core
+        anomalies.append(Anomaly(
+            kind="straggler-core", severity=ratio,
+            start=int(columns["start"][mask].min()),
+            end=int(columns["end"][mask].max()), cores=[core],
+            description="core {} runs tasks {:.1f}x slower than the "
+            "median core (worst type: {})".format(
+                core, ratio, type_names.get(worst, worst))))
+    anomalies.sort(key=lambda anomaly: -anomaly.severity)
+    return anomalies
+
+
+def detect_frequency_throttling(trace, num_intervals=None,
+                                ratio_threshold=1.6, min_tasks=3):
+    """Cores that slow down only during part of the run.
+
+    The transient complement of :func:`detect_stragglers` (a DVFS or
+    thermal-throttling episode): per-task slowdowns (duration over
+    the type's median duration) are binned over time per core and
+    compared against the *core's own* median bin — so a core that is
+    uniformly slow (a straggler) does not trigger, only one whose
+    slowness is localized in time.  One anomaly per throttled episode
+    with the flagged window, severity = peak slowdown over the core's
+    baseline.
+
+    ``num_intervals=None`` (the default) adapts the bin count to the
+    trace so the average core keeps ``2 * min_tasks`` tasks per bin —
+    fixed fine binning would starve every bin below ``min_tasks`` on
+    small traces and silently disable the detector.
+    """
+    anomalies = []
+    columns = trace.tasks.columns
+    if not len(columns["start"]):
+        return anomalies
+    if num_intervals is None:
+        per_core = len(columns["start"]) / max(trace.num_cores, 1)
+        num_intervals = int(max(4, min(24,
+                                       per_core // (2 * min_tasks))))
+    durations = (columns["end"] - columns["start"]).astype(np.float64)
+    num_types = int(columns["type_id"].max()) + 1
+    type_median = np.zeros(num_types, dtype=np.float64)
+    for type_id in range(num_types):
+        mask = columns["type_id"] == type_id
+        if mask.any():
+            type_median[type_id] = np.median(durations[mask])
+    ok = type_median[columns["type_id"]] > 0
+    slowdown = np.ones(len(durations), dtype=np.float64)
+    slowdown[ok] = durations[ok] / type_median[columns["type_id"]][ok]
+    edges = interval_edges(trace, num_intervals).astype(np.int64)
+    bins = np.clip(np.searchsorted(edges, columns["start"],
+                                   side="right") - 1,
+                   0, num_intervals - 1)
+    for core in range(trace.num_cores):
+        on_core = columns["core"] == core
+        sums = np.zeros(num_intervals, dtype=np.float64)
+        counts = np.zeros(num_intervals, dtype=np.int64)
+        np.add.at(sums, bins[on_core], slowdown[on_core])
+        np.add.at(counts, bins[on_core], 1)
+        valid = counts >= min_tasks
+        if valid.sum() < 2:
+            continue
+        per_bin = np.where(valid, sums / np.maximum(counts, 1), np.nan)
+        with np.errstate(all="ignore"):
+            core_baseline = float(np.nanmedian(per_bin))
+        if not core_baseline > 0:
+            continue
+        hot = valid & (per_bin >= ratio_threshold * core_baseline)
+        for start, end, __ in _merge_flagged_bins(edges, hot):
+            window = per_bin[(edges[:-1] >= start) & (edges[:-1] < end)]
+            with np.errstate(all="ignore"):
+                peak = float(np.nanmax(window) / core_baseline)
+            anomalies.append(Anomaly(
+                kind="frequency-throttling", severity=peak,
+                start=start, end=end, cores=[core],
+                description="core {} ran {:.1f}x slower than its own "
+                "baseline in this window".format(core, peak)))
+    anomalies.sort(key=lambda anomaly: -anomaly.severity)
+    return anomalies
+
+
 @dataclass
 class CounterCorrelation:
     """Strength of the duration ~ counter-rate relationship."""
@@ -277,4 +412,6 @@ def scan(trace, num_intervals=100):
     if len(trace.accesses["task_id"]):
         findings.extend(detect_locality_anomalies(trace))
     findings.extend(detect_load_imbalance(trace))
+    findings.extend(detect_stragglers(trace))
+    findings.extend(detect_frequency_throttling(trace))
     return findings

@@ -3,9 +3,11 @@
 from .counters import (BRANCH_MISPREDICTIONS, CACHE_MISSES,
                        CounterModelConfig, HardwareCounters,
                        OS_RESIDENT_KB, OS_SYSTEM_TIME_US)
-from .memory import (AllocationPolicy, FirstTouch, Interleaved,
-                     MemoryManager, MemoryRegion, PAGE_SIZE,
-                     RandomPlacement)
+from .faults import (FaultInjectionConfig, FaultScenario,
+                     straggler_scenario, throttle_scenario)
+from .memory import (AllocationPolicy, FirstTouch, HostilePlacement,
+                     Interleaved, MemoryManager, MemoryRegion,
+                     PAGE_SIZE, RandomPlacement)
 from .machinefile import (fully_connected_machine, load_machine,
                           machine_from_dict, machine_to_dict,
                           mesh_machine, save_machine, validate_distances)
@@ -20,8 +22,10 @@ from .tracing import TraceCollector
 __all__ = [
     "BRANCH_MISPREDICTIONS", "CACHE_MISSES", "CounterModelConfig",
     "HardwareCounters", "OS_RESIDENT_KB", "OS_SYSTEM_TIME_US",
-    "AllocationPolicy", "FirstTouch", "Interleaved", "MemoryManager",
+    "AllocationPolicy", "FaultInjectionConfig", "FaultScenario",
+    "FirstTouch", "HostilePlacement", "Interleaved", "MemoryManager",
     "MemoryRegion", "PAGE_SIZE", "RandomPlacement",
+    "straggler_scenario", "throttle_scenario",
     "fully_connected_machine", "load_machine", "machine_from_dict",
     "machine_to_dict", "mesh_machine", "save_machine",
     "validate_distances", "OsModel",

@@ -1,0 +1,102 @@
+"""Fault injection: planted performance anomalies with ground truth.
+
+The anomaly detectors of :mod:`repro.core.anomalies` reproduce the
+manual bottleneck hunts of the paper's case studies — stragglers,
+frequency differences between cores, NUMA-hostile data placement.
+Testing them honestly requires traces with *known-planted* faults, so
+this module gives the simulator a small, declarative fault model:
+
+* **straggler cores** — the named cores execute every task slower by
+  a constant factor (a saturated sibling, a faulty DIMM, a core stuck
+  behind a noisy neighbour);
+* **frequency throttling** — the named cores run slower only inside
+  a time window (thermal throttling, DVFS kicking in mid-run).
+
+Both faults scale the *computation* of a task (the duration the
+simulator derived); NUMA-hostile placement is a memory-system fault
+and lives in :class:`repro.runtime.memory.HostilePlacement` instead.
+The configuration is a frozen dataclass, so experiment specs can
+carry it through process pools unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class FaultInjectionConfig:
+    """Declarative description of the faults planted into one run.
+
+    The default instance is the identity: no cores named, factors 1.0
+    — simulations with and without a default config are bit-identical.
+    """
+
+    #: Cores slowed for the whole run, and by how much (>= 1.0).
+    straggler_cores: Tuple[int, ...] = ()
+    straggler_factor: float = 4.0
+    #: Cores slowed only inside [throttle_start, throttle_end).
+    throttle_cores: Tuple[int, ...] = ()
+    throttle_factor: float = 3.0
+    throttle_start: int = 0
+    throttle_end: int = 0
+
+    def __post_init__(self):
+        if self.straggler_factor < 1.0 or self.throttle_factor < 1.0:
+            raise ValueError("fault factors must be >= 1.0 (slowdowns)")
+
+    @property
+    def active(self):
+        """Whether any fault is actually planted."""
+        return bool(self.straggler_cores) or bool(self.throttle_cores)
+
+    def scaled_duration(self, core, start, duration):
+        """The faulted duration of a task on ``core`` starting at
+        ``start`` whose fault-free duration is ``duration``.
+
+        Straggler scaling applies to the whole task; throttling
+        scales only the portion of the task overlapping the throttle
+        window, so a task straddling the window edge is stretched
+        proportionally (an integer, monotone transformation —
+        ``duration`` cycles never shrink).
+        """
+        duration = int(duration)
+        if core in self.straggler_cores:
+            duration = int(duration * self.straggler_factor)
+        if core in self.throttle_cores \
+                and self.throttle_end > self.throttle_start:
+            end = start + duration
+            overlap = (min(end, self.throttle_end)
+                       - max(start, self.throttle_start))
+            if overlap > 0:
+                duration += int(overlap * (self.throttle_factor - 1.0))
+        return duration
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A named fault configuration, as used by the scenario zoo of
+    :func:`repro.analysis.experiments.suite.fault_sweep`."""
+
+    name: str
+    faults: FaultInjectionConfig = field(
+        default_factory=FaultInjectionConfig)
+
+
+def straggler_scenario(core=0, factor=4.0):
+    """A whole-run straggler on one core."""
+    return FaultScenario(
+        name="straggler",
+        faults=FaultInjectionConfig(straggler_cores=(core,),
+                                    straggler_factor=factor))
+
+
+def throttle_scenario(core=0, factor=3.0, start=0, end=0):
+    """A mid-run frequency-throttle window on one core."""
+    return FaultScenario(
+        name="throttle",
+        faults=FaultInjectionConfig(throttle_cores=(core,),
+                                    throttle_factor=factor,
+                                    throttle_start=start,
+                                    throttle_end=end))

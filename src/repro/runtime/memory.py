@@ -128,6 +128,24 @@ class RandomPlacement(AllocationPolicy):
         return self._rng.randrange(self.num_nodes)
 
 
+class HostilePlacement(AllocationPolicy):
+    """Adversarial placement: every page lands on the node *farthest*
+    from its first toucher (by the machine's distance matrix).
+
+    This is the NUMA-hostile fault of the scenario zoo — the
+    worst-case mirror image of :class:`FirstTouch`, turning every
+    access into maximally remote traffic so the locality analyses
+    have a known-bad ground truth to flag."""
+
+    def __init__(self, machine):
+        self.machine = machine
+
+    def place(self, toucher_node, page_index):
+        nodes = range(self.machine.num_nodes)
+        return max(nodes, key=lambda node: (
+            self.machine.access_factor(toucher_node, node), node))
+
+
 class MemoryManager:
     """Allocates regions and resolves addresses to regions and NUMA nodes."""
 

@@ -114,13 +114,14 @@ class Simulator:
     """Executes a finalized :class:`Program` on a :class:`Machine`."""
 
     def __init__(self, program, scheduler, collector=None, config=None,
-                 os_config=None, counter_config=None):
+                 os_config=None, counter_config=None, faults=None):
         if not program.finalized:
             program.finalize()
         self.program = program
         self.machine = program.machine
         self.scheduler = scheduler
         self.config = config if config is not None else SimConfig()
+        self.faults = faults
         self.collector = (collector if collector is not None
                           else _NullCollector())
         self.os_model = OsModel(self.machine.num_cores,
@@ -320,6 +321,9 @@ class Simulator:
         self.os_model.charge_background(core, start)
         duration = (config.task_overhead + task.work + int(mem_cycles)
                     + fault_stall)
+        if self.faults is not None:
+            duration = self.faults.scaled_duration(core, start,
+                                                   duration)
         end = start + duration
         self._sample_counters(core, start)
         self.hw_counters.charge_task(core, task, local_bytes, remote_bytes)
@@ -369,14 +373,16 @@ class Simulator:
 
 
 def run_program(program, scheduler, collector=None, config=None,
-                os_config=None, counter_config=None):
+                os_config=None, counter_config=None, faults=None):
     """Convenience wrapper: simulate and return ``(result, trace)``.
 
-    ``trace`` is ``None`` when no collector was given.
+    ``trace`` is ``None`` when no collector was given; ``faults``
+    optionally plants a
+    :class:`repro.runtime.faults.FaultInjectionConfig`.
     """
     simulator = Simulator(program, scheduler, collector=collector,
                           config=config, os_config=os_config,
-                          counter_config=counter_config)
+                          counter_config=counter_config, faults=faults)
     result = simulator.run()
     trace = None
     if isinstance(collector, TraceCollector):

@@ -10,9 +10,12 @@ from .cache import (CacheError, StaleCacheError, default_cache_path,
 from .chunked import (ChunkEntry, ChunkIndex, ScanStats,
                       read_chunk_index, read_window_columnar,
                       stream_window_records)
+from .chrome import export_chrome, import_chrome
 from .compression import codec_for_path, open_trace_file
 from .format import FormatError, MAGIC, RecordTag, VERSION
-from .paraver import export_paraver
+from .ingest import (TraceSource, detect_source, ingest_trace,
+                     register_source, registered_sources)
+from .paraver import export_paraver, import_paraver
 from .reader import read_trace, read_trace_stream
 from .streaming import (StreamingStatistics, TaskHistogramAccumulator,
                         build_window, fold_records, split_time_window,
@@ -28,7 +31,11 @@ __all__ = ["CacheError", "StaleCacheError", "default_cache_path",
            "read_window_columnar", "stream_window_records",
            "codec_for_path", "open_trace_file",
            "FormatError", "MAGIC", "RecordTag", "VERSION",
-           "export_paraver", "read_trace", "read_trace_stream",
+           "TraceSource", "detect_source", "ingest_trace",
+           "register_source", "registered_sources",
+           "export_chrome", "import_chrome",
+           "export_paraver", "import_paraver",
+           "read_trace", "read_trace_stream",
            "StreamingStatistics", "TaskHistogramAccumulator",
            "build_window", "fold_records", "split_time_window",
            "stream_records", "streaming_state_summary",

@@ -1,0 +1,10 @@
+"""Format-plural trace ingestion (see :mod:`.registry`)."""
+
+from .registry import (ChromeTraceSource, NativeTraceSource,
+                       ParaverTraceSource, TraceSource, detect_source,
+                       ingest_trace, register_source,
+                       registered_sources)
+
+__all__ = ["ChromeTraceSource", "NativeTraceSource",
+           "ParaverTraceSource", "TraceSource", "detect_source",
+           "ingest_trace", "register_source", "registered_sources"]

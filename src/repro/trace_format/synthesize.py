@@ -27,7 +27,8 @@ _STATES = (WorkerState.RUNNING, WorkerState.RUNNING, WorkerState.RUNNING,
 def write_synthetic_trace(path, events=1_000_000, nodes=4,
                           cores_per_node=4, task_types=8, seed=0,
                           index="auto",
-                          chunk_records=DEFAULT_CHUNK_RECORDS):
+                          chunk_records=DEFAULT_CHUNK_RECORDS,
+                          faults=None):
     """Write a synthetic trace of ``events`` event records to ``path``.
 
     Events are spread round-robin over ``nodes * cores_per_node`` cores,
@@ -40,6 +41,14 @@ def write_synthetic_trace(path, events=1_000_000, nodes=4,
     ``index`` is forwarded to the writer selection: ``"auto"`` indexes
     exactly when ``path`` is uncompressed, so the same generator serves
     both the seekable and the fallback code paths.
+
+    ``faults`` optionally plants a
+    :class:`repro.runtime.faults.FaultInjectionConfig`: every event
+    duration on a faulted core is stretched through
+    ``scaled_duration``, so synthetic files too can carry
+    known-planted stragglers and throttle windows.  ``None`` (and the
+    identity config) keeps the output bit-identical to earlier
+    versions.
     """
     if events < 0:
         raise ValueError("events must be non-negative")
@@ -81,6 +90,8 @@ def write_synthetic_trace(path, events=1_000_000, nodes=4,
             core = i % num_cores
             t = clocks[core]
             duration = durations[i % 509]
+            if faults is not None:
+                duration = faults.scaled_duration(core, t, duration)
             kind = i % 12
             if kind < 6:
                 writer.state_interval(core, int(_STATES[kind]), t,

@@ -6,10 +6,11 @@ from .pipeline import PipelineConfig, build_pipeline
 from .openmp import OpenMPProgram, build_fibonacci, build_mergesort
 from .seidel import SeidelConfig, build_seidel
 from .synthetic import build_chain, build_fork_join, build_random_dag
+from .wavefront import WavefrontConfig, build_wavefront
 
 __all__ = ["CholeskyConfig", "build_cholesky", "PipelineConfig",
            "build_pipeline", "KmeansConfig", "build_kmeans",
            "OpenMPProgram",
            "build_fibonacci", "build_mergesort", "SeidelConfig",
-           "build_seidel",
+           "build_seidel", "WavefrontConfig", "build_wavefront",
            "build_chain", "build_fork_join", "build_random_dag"]

@@ -27,12 +27,23 @@ class PipelineConfig:
     stage_costs: Tuple[int, ...] = (20_000, 60_000, 20_000, 20_000)
     stateful: Tuple[bool, ...] = ()
     frame_bytes: int = 64 * 1024
+    #: Application-level stragglers: every ``straggler_period``-th
+    #: frame of ``straggler_stage`` costs ``straggler_factor`` times
+    #: as much (a key frame, a cache-cold input, a GC pause).  The
+    #: default (-1) plants none.
+    straggler_stage: int = -1
+    straggler_period: int = 8
+    straggler_factor: float = 6.0
 
     def __post_init__(self):
         if not self.stateful:
             self.stateful = tuple(True for __ in self.stage_costs)
         if len(self.stateful) != len(self.stage_costs):
             raise ValueError("stateful flags must match stage count")
+        if self.straggler_stage >= self.stages:
+            raise ValueError("straggler_stage out of range")
+        if self.straggler_period < 1 or self.straggler_factor < 1.0:
+            raise ValueError("straggler period/factor must be >= 1")
 
     @property
     def stages(self):
@@ -65,8 +76,11 @@ def build_pipeline(machine, config=None, memory=None):
             if state is not None:
                 reads.append((state, 0, state.size))
                 writes.append((state, 0, state.size))
-            program.spawn("pipe_stage{}".format(stage),
-                          config.stage_costs[stage],
+            work = config.stage_costs[stage]
+            if stage == config.straggler_stage \
+                    and frame % config.straggler_period == 0:
+                work = int(work * config.straggler_factor)
+            program.spawn("pipe_stage{}".format(stage), work,
                           reads=reads, writes=writes,
                           metadata={"stage": stage, "frame": frame})
             outputs.append(out)

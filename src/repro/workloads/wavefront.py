@@ -1,0 +1,65 @@
+"""A wavefront (diagonal-sweep) workload: an irregular task DAG.
+
+Wavefront computations — Smith-Waterman alignment, LU panels,
+dynamic-programming tables — are the canonical irregular DAG: task
+``(i, j)`` depends on its north ``(i-1, j)`` and west ``(i, j-1)``
+neighbours, so parallelism ramps from one task to a full diagonal and
+back down.  The timeline shows the characteristic diamond of activity
+that Aftermath's parallelism views were built to expose, and the
+ragged start/drain phases give the idle-phase detector realistic
+structure (unlike the rectangular phases of seidel).
+
+Per-cell work is drawn from a seeded range, so the DAG is irregular
+in *time* as well as shape — runs are deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..runtime.program import Program
+
+
+@dataclass
+class WavefrontConfig:
+    """An ``order`` x ``order`` dependence grid; per-cell work drawn
+    uniformly from ``[base_work, base_work * work_spread]``."""
+
+    order: int = 12
+    base_work: int = 30_000
+    work_spread: float = 2.0
+    cell_bytes: int = 16 * 1024
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.order < 1:
+            raise ValueError("wavefront order must be >= 1")
+        if self.work_spread < 1.0:
+            raise ValueError("work_spread must be >= 1.0")
+
+
+def build_wavefront(machine, config=None, memory=None):
+    """Build the wavefront task graph (``order**2`` tasks)."""
+    config = config if config is not None else WavefrontConfig()
+    program = Program(machine, memory=memory, name="wavefront")
+    rng = random.Random(config.seed)
+    size = config.cell_bytes
+    cells = {}
+    for i in range(config.order):
+        for j in range(config.order):
+            cell = program.allocate(size,
+                                    name="w_{}_{}".format(i, j))
+            reads = []
+            if i > 0:
+                reads.append((cells[(i - 1, j)], 0, size))
+            if j > 0:
+                reads.append((cells[(i, j - 1)], 0, size))
+            work = rng.randint(config.base_work,
+                               int(config.base_work
+                                   * config.work_spread))
+            program.spawn("wavefront_cell", work, reads=reads,
+                          writes=[(cell, 0, size)],
+                          metadata={"i": i, "j": j})
+            cells[(i, j)] = cell
+    return program.finalize()

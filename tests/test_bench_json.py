@@ -80,7 +80,7 @@ def _record_one(job):
 
 
 def _history(sweep_speedup=4.0, reopen=100.0, frames=12.0,
-             scale="default"):
+             scale="default", ingest=120_000.0):
     """A fresh history covering every tracked metric."""
     return {
         "pr4": {
@@ -91,6 +91,10 @@ def _history(sweep_speedup=4.0, reopen=100.0, frames=12.0,
         "pr5": {
             "sweep_scaling": {"scale": scale, "cpus": 4,
                               "pool_speedup": sweep_speedup},
+        },
+        "pr6": {
+            "ingest_throughput": {"scale": scale, "gate": "always",
+                                  "events_per_sec": ingest},
         },
     }
 
@@ -117,7 +121,12 @@ class TestPerfGate:
             _history(sweep_speedup=0.1, reopen=0.1, frames=0.1,
                      scale="small"))
         assert failures == []
-        assert all("skipped" in line for line in lines)
+        # Every scale-gated metric skips; the always-enforced ingest
+        # floor still gets checked (and holds here).
+        skipped = [line for line in lines if "skipped" in line]
+        assert len(skipped) == len(perf_gate.TRACKED) - 1
+        assert any("ingest_throughput" in line and "skipped" not in
+                   line for line in lines)
 
     def test_gate_skip_marker_respected(self):
         history = _history(sweep_speedup=0.5)
@@ -125,6 +134,36 @@ class TestPerfGate:
         history["pr5"]["sweep_scaling"]["gate_reason"] = "1 cpu"
         failures, __ = perf_gate.check_history(history)
         assert failures == []
+
+    def test_always_metric_enforced_at_small_scale(self):
+        """The 1-CPU-runner regression this PR pins: an
+        always-enforced metric must not silently skip when the bench
+        ran at the small scale."""
+        failures, __ = perf_gate.check_history(
+            _history(scale="small", ingest=500.0))
+        assert any("ingest_throughput" in failure
+                   and "below the floor" in failure
+                   for failure in failures)
+
+    def test_always_metric_ignores_skip_marker(self):
+        history = _history(ingest=500.0)
+        history["pr6"]["ingest_throughput"]["gate"] = "skip"
+        history["pr6"]["ingest_throughput"]["gate_reason"] = "nope"
+        failures, __ = perf_gate.check_history(history)
+        assert any("ingest_throughput" in failure
+                   for failure in failures)
+
+    def test_always_metric_keeps_small_scale_baseline(self):
+        """Always metrics are scale-independent by contract, so even
+        a small-scale committed baseline stays a collapse reference."""
+        fresh = _history(ingest=15_000.0)     # above the 10k floor
+        baseline = _history(ingest=200_000.0, scale="small")
+        failures, __ = perf_gate.check_history(fresh,
+                                               baseline=baseline,
+                                               slack=0.5)
+        assert any("ingest_throughput" in failure
+                   and "regressed below" in failure
+                   for failure in failures)
 
     def test_baseline_collapse_fails_even_above_floor(self):
         fresh = _history(reopen=6.0)          # above the 5.0 floor

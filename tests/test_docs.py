@@ -58,9 +58,14 @@ def test_quickstart_example_runs_and_covers_both_stores(tmp_path,
     assert "columnar reload matches conversion: True" in out
     assert "matches parsed store: True" in out
     assert "self-diff empty: True" in out
+    assert "quickstart.prv -> paraver, quickstart.json -> chrome" in out
+    assert "paraver round trip keeps state times: True" in out
+    assert "chrome round trip is exact: True" in out
     assert (tmp_path / "quickstart.ostc").exists()
     assert (tmp_path / "quickstart_states.ppm").exists()
     assert (tmp_path / "quickstart_compare.ppm").exists()
+    assert (tmp_path / "quickstart.prv").exists()
+    assert (tmp_path / "quickstart.json").exists()
 
 
 def test_public_trace_format_api_is_documented():

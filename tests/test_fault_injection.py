@@ -1,0 +1,276 @@
+"""Ground-truth tests for the fault-injection scenario zoo.
+
+Every planted fault must be found by *its* detector (true positives,
+with the planted core identified exactly), and clean runs of the same
+workloads must stay silent (no false positives) — asserted as
+precision/recall 1.0 over a seeded matrix of runs, so a detector that
+drifts toward either failure mode breaks the build.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (detect_duration_outliers,
+                        detect_frequency_throttling, detect_stragglers,
+                        locality_fraction)
+from repro.runtime import (FaultInjectionConfig, HostilePlacement,
+                           Machine, MemoryManager, straggler_scenario,
+                           throttle_scenario)
+from repro.analysis.experiments import (fault_sweep, pipeline_trace,
+                                        wavefront_trace)
+
+STRAGGLER = FaultInjectionConfig(straggler_cores=(2,),
+                                 straggler_factor=4.0)
+THROTTLE = FaultInjectionConfig(throttle_cores=(1,),
+                                throttle_factor=3.0,
+                                throttle_start=1_500_000,
+                                throttle_end=4_500_000)
+
+
+class TestScaledDuration:
+    def test_default_is_identity(self):
+        config = FaultInjectionConfig()
+        assert not config.active
+        assert config.scaled_duration(0, 100, 5000) == 5000
+
+    def test_straggler_scales_whole_task(self):
+        assert STRAGGLER.scaled_duration(2, 0, 1000) == 4000
+        assert STRAGGLER.scaled_duration(0, 0, 1000) == 1000
+
+    def test_throttle_scales_only_window_overlap(self):
+        # Fully inside the window: 1000 cycles become 3000.
+        assert THROTTLE.scaled_duration(1, 2_000_000, 1000) == 3000
+        # Entirely outside: untouched.
+        assert THROTTLE.scaled_duration(1, 0, 1000) == 1000
+        # Straddling the window start: only the overlapping half
+        # stretches (500 overlap cycles gain 2x500 extra).
+        assert THROTTLE.scaled_duration(1, 1_499_500, 1000) == 2000
+        # Other cores never throttle.
+        assert THROTTLE.scaled_duration(0, 2_000_000, 1000) == 1000
+
+    def test_faults_compose(self):
+        both = FaultInjectionConfig(straggler_cores=(1,),
+                                    straggler_factor=2.0,
+                                    throttle_cores=(1,),
+                                    throttle_factor=2.0,
+                                    throttle_start=0,
+                                    throttle_end=10_000)
+        # 1000 -> straggler doubles to 2000, all inside the window,
+        # so throttling adds another 2000.
+        assert both.scaled_duration(1, 0, 1000) == 4000
+
+    def test_speedup_factors_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjectionConfig(straggler_factor=0.5)
+        with pytest.raises(ValueError):
+            FaultInjectionConfig(throttle_factor=0.9)
+
+    def test_scenario_helpers(self):
+        scenario = straggler_scenario(core=3, factor=5.0)
+        assert scenario.faults.straggler_cores == (3,)
+        assert scenario.faults.straggler_factor == 5.0
+        scenario = throttle_scenario(core=1, start=10, end=20)
+        assert scenario.faults.throttle_cores == (1,)
+        assert (scenario.faults.throttle_start,
+                scenario.faults.throttle_end) == (10, 20)
+
+
+class TestDetectorGroundTruth:
+    """The precision/recall contract: over a seeded matrix of clean
+    and faulted runs, both new detectors must score 1.0/1.0."""
+
+    SEEDS = (0, 1, 2)
+
+    def test_clean_runs_stay_silent(self):
+        for seed in self.SEEDS:
+            for build in (wavefront_trace, pipeline_trace):
+                __, trace = build(scale="small", seed=seed)
+                assert detect_stragglers(trace) == [], (build, seed)
+                assert detect_frequency_throttling(trace) == [], \
+                    (build, seed)
+
+    def test_straggler_found_exactly(self):
+        for seed in self.SEEDS:
+            __, trace = wavefront_trace(scale="small", seed=seed,
+                                        faults=STRAGGLER)
+            found = detect_stragglers(trace)
+            assert [anomaly.cores for anomaly in found] == [[2]], seed
+            assert found[0].severity >= 1.7
+            # A whole-run straggler is not a transient episode.
+            assert detect_frequency_throttling(trace) == [], seed
+
+    def test_throttle_found_exactly(self):
+        for seed in self.SEEDS:
+            __, trace = wavefront_trace(scale="small", seed=seed,
+                                        faults=THROTTLE)
+            found = detect_frequency_throttling(trace)
+            assert {core for anomaly in found
+                    for core in anomaly.cores} == {1}, seed
+            # The flagged window overlaps the planted one.
+            assert any(anomaly.start < THROTTLE.throttle_end
+                       and anomaly.end > THROTTLE.throttle_start
+                       for anomaly in found), seed
+            # A transient episode is not a whole-run straggler.
+            assert detect_stragglers(trace) == [], seed
+
+    def test_precision_and_recall(self):
+        hits, expected, false_positives = 0, 0, 0
+        for seed in self.SEEDS:
+            __, clean = wavefront_trace(scale="small", seed=seed)
+            false_positives += len(detect_stragglers(clean))
+            false_positives += len(detect_frequency_throttling(clean))
+            __, faulted = wavefront_trace(scale="small", seed=seed,
+                                          faults=STRAGGLER)
+            expected += 1
+            hits += sum(anomaly.cores == [2] for anomaly
+                        in detect_stragglers(faulted))
+        assert false_positives == 0     # precision 1.0
+        assert hits == expected         # recall 1.0
+
+    def test_fault_slows_the_run_down(self):
+        clean_result, __ = wavefront_trace(scale="small", seed=0)
+        faulted_result, __ = wavefront_trace(scale="small", seed=0,
+                                             faults=STRAGGLER)
+        assert faulted_result.makespan > clean_result.makespan
+
+
+class TestSyntheticFaults:
+    def test_synthetic_trace_straggler_detected(self, tmp_path):
+        from repro.trace_format import read_trace
+        from repro.trace_format.synthesize import write_synthetic_trace
+        path = str(tmp_path / "faulted.ost")
+        # task_types coprime with the core count, so every core runs
+        # every type (the round-robin generator would otherwise pin
+        # one type per core and leave no cross-core baseline).
+        write_synthetic_trace(path, events=40_000, nodes=2,
+                              cores_per_node=4, seed=5, task_types=5,
+                              faults=STRAGGLER)
+        found = detect_stragglers(read_trace(path))
+        assert [anomaly.cores for anomaly in found] == [[2]]
+
+    def test_default_faults_bit_identical(self, tmp_path):
+        from repro.trace_format.synthesize import write_synthetic_trace
+        plain = tmp_path / "plain.ost"
+        defaulted = tmp_path / "defaulted.ost"
+        write_synthetic_trace(str(plain), events=10_000, seed=3)
+        write_synthetic_trace(str(defaulted), events=10_000, seed=3,
+                              faults=FaultInjectionConfig())
+        assert plain.read_bytes() == defaulted.read_bytes()
+
+
+class TestHostilePlacement:
+    def test_places_on_farthest_node(self):
+        machine = Machine(4, 2)
+        policy = HostilePlacement(machine)
+        for toucher in range(machine.num_nodes):
+            chosen = policy.place(toucher, page_index=0)
+            assert machine.access_factor(toucher, chosen) == max(
+                machine.access_factor(toucher, node)
+                for node in range(machine.num_nodes))
+            assert chosen != toucher
+
+    def test_degrades_locality_vs_first_touch(self):
+        # Under random stealing (no locality-aware recovery), hostile
+        # placement turns nearly every access remote: the locality
+        # fraction collapses from ~0.9 to ~0.03 on this workload.
+        good = self._wavefront_locality()
+        bad = self._wavefront_locality(HostilePlacement)
+        assert good > 0.8
+        assert bad < 0.2
+
+    def test_numa_scheduler_partially_recovers(self):
+        # The NUMA-aware scheduler chases the (hostile) data, so the
+        # same fault is visibly milder — but still far from clean.
+        recovered = self._wavefront_locality(HostilePlacement,
+                                             numa_aware=True)
+        assert 0.2 < recovered < self._wavefront_locality(
+            numa_aware=True)
+
+    @staticmethod
+    def _wavefront_locality(policy=None, numa_aware=False):
+        from repro.runtime import (NumaAwareScheduler,
+                                   RandomStealScheduler,
+                                   TraceCollector, run_program)
+        from repro.workloads import WavefrontConfig, build_wavefront
+        machine = Machine(4, 4, name="hostile")
+        memory = MemoryManager(
+            machine, policy=policy(machine) if policy else None)
+        program = build_wavefront(machine,
+                                  WavefrontConfig(order=12, seed=0),
+                                  memory=memory)
+        scheduler = (NumaAwareScheduler if numa_aware
+                     else RandomStealScheduler)(machine, seed=0)
+        __, trace = run_program(program, scheduler,
+                                collector=TraceCollector(machine))
+        return locality_fraction(trace)
+
+
+class TestPipelineStragglers:
+    def test_straggler_stage_produces_outliers(self):
+        __, clean = pipeline_trace(scale="small", seed=0)
+        __, spiky = pipeline_trace(scale="small", seed=0,
+                                   straggler_stage=1)
+        clean_kinds = {anomaly.task_type for anomaly
+                       in detect_duration_outliers(clean)}
+        spiky_outliers = [anomaly for anomaly
+                          in detect_duration_outliers(spiky)
+                          if anomaly.task_type == "pipe_stage1"]
+        assert "pipe_stage1" not in clean_kinds
+        assert spiky_outliers
+
+    def test_straggler_frames_periodic(self):
+        __, trace = pipeline_trace(scale="small", seed=0,
+                                   straggler_stage=1)
+        columns = trace.tasks.columns
+        stage1 = next(info.type_id for info in trace.task_types
+                      if info.name == "pipe_stage1")
+        durations = (columns["end"] - columns["start"])[
+            columns["type_id"] == stage1]
+        median = np.median(durations)
+        # Every straggler_period-th frame is the slow one.  The spike
+        # is additive on top of the stage's fixed overheads, so the
+        # slow frames sit ~1.5x the median, not at the raw factor.
+        slow = int((durations > 1.2 * median).sum())
+        assert slow == int(np.ceil(len(durations) / 8))
+
+
+class TestFaultSweepSpecs:
+    def test_zoo_shape(self):
+        specs = fault_sweep(workload="wavefront", seed=0)
+        assert [spec.name for spec in specs] == [
+            "wavefront_clean", "wavefront_straggler",
+            "wavefront_throttle"]
+        assert [dict(spec.params)["fault"] for spec in specs] == \
+            ["none", "straggler", "throttle"]
+
+    def test_fault_config_round_trip(self):
+        clean, straggler, throttle = fault_sweep()
+        assert clean.fault_config() is None
+        assert straggler.fault_config() == FaultInjectionConfig(
+            straggler_cores=(2,), straggler_factor=4.0)
+        config = throttle.fault_config()
+        assert config.throttle_cores == (1,)
+        assert config.throttle_end > config.throttle_start
+
+    def test_specs_are_picklable(self):
+        import pickle
+        for spec in fault_sweep():
+            assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_zoo_detected_end_to_end(self, tmp_path):
+        """The whole loop: run the zoo through the suite runner, read
+        the traces back, and check each planted fault is flagged by
+        its detector while the clean baseline stays silent."""
+        from repro.analysis.experiments import run_suite
+        from repro.trace_format import read_trace
+        paths = run_suite(fault_sweep(seed=1), str(tmp_path),
+                          workers=1)
+        traces = {spec.name.split("_", 1)[1]: read_trace(path)
+                  for spec, path in zip(fault_sweep(seed=1), paths)}
+        assert detect_stragglers(traces["clean"]) == []
+        assert detect_frequency_throttling(traces["clean"]) == []
+        assert [anomaly.cores for anomaly
+                in detect_stragglers(traces["straggler"])] == [[2]]
+        assert {core for anomaly
+                in detect_frequency_throttling(traces["throttle"])
+                for core in anomaly.cores} == {1}

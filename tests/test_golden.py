@@ -5,7 +5,11 @@ kmeans-like clustering run) are committed under ``tests/data/``
 together with pinned JSON expectations for their analysis results.
 Any numeric drift — in the trace format readers, the statistics, the
 metrics or the columnar store — fails these tests with exact-equality
-diffs.  Regenerate intentionally with ``python tools/make_golden.py``.
+diffs.  A third fixture is committed in *foreign* formats (Paraver
+``.prv``/``.pcf`` and Chrome trace-event JSON): both files must
+dispatch through the ingestion registry and reproduce one shared set
+of pinned numbers, so the foreign parsers cannot drift either.
+Regenerate intentionally with ``python tools/make_golden.py``.
 """
 
 import json
@@ -14,13 +18,15 @@ import sys
 
 import pytest
 
-from repro.trace_format import read_chunk_index, read_trace
+from repro.trace_format import (detect_source, ingest_trace,
+                                read_chunk_index, read_trace)
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 DATA_DIR = ROOT / "tests" / "data"
 
 sys.path.insert(0, str(ROOT / "tools"))
-from make_golden import GOLDEN_TRACES, golden_expectations  # noqa: E402
+from make_golden import (FOREIGN_FIXTURES, GOLDEN_TRACES,  # noqa: E402
+                         golden_expectations)
 
 sys.path.pop(0)
 
@@ -49,8 +55,28 @@ class TestGoldenTraces:
         assert golden_expectations(columnar) == pinned[name]
 
 
+@pytest.mark.parametrize("filename,source",
+                         sorted(FOREIGN_FIXTURES.items()))
+class TestGoldenForeignTraces:
+    def test_registry_dispatch(self, filename, source, pinned):
+        path = DATA_DIR / filename
+        assert path.is_file()
+        assert detect_source(str(path)).name == source
+
+    def test_ingested_analysis_matches_pinned(self, filename, source,
+                                              pinned):
+        trace = ingest_trace(str(DATA_DIR / filename))
+        assert golden_expectations(trace) == pinned["foreign"]
+
+    def test_columnar_ingest_matches_pinned(self, filename, source,
+                                            pinned):
+        columnar = ingest_trace(str(DATA_DIR / filename),
+                                columnar=True)
+        assert golden_expectations(columnar) == pinned["foreign"]
+
+
 def test_expectations_cover_every_golden_trace(pinned):
-    assert sorted(pinned) == sorted(GOLDEN_TRACES)
+    assert sorted(pinned) == sorted(GOLDEN_TRACES + ("foreign",))
     for name, values in pinned.items():
         assert values["counts"]["tasks"] > 0, name
         assert sum(values["state_time_summary"].values()) > 0, name

@@ -19,6 +19,10 @@ import sys
 DATA_DIR = pathlib.Path(__file__).resolve().parent.parent / "tests" / "data"
 
 GOLDEN_TRACES = ("seidel", "kmeans")
+#: Foreign-format fixture files and the registry source each must
+#: dispatch to; both pin the same expectations (key "foreign").
+FOREIGN_FIXTURES = {"golden_foreign.prv": "paraver",
+                    "golden_foreign.json": "chrome"}
 HISTOGRAM_BINS = 16
 
 
@@ -45,6 +49,50 @@ def build_golden_traces():
         NumaAwareScheduler(machine, seed=7),
         collector=TraceCollector(machine))
     return {"seidel": seidel, "kmeans": kmeans}
+
+
+def build_foreign_trace():
+    """A small hand-built trace for the foreign-format fixtures.
+
+    Built directly through :class:`TraceBuilder` (no simulator), so the
+    exact records are spelled out here.  Deliberately *without* memory
+    accesses: the Paraver dialect cannot express them, and both foreign
+    files must pin the same analysis numbers.
+    """
+    from repro.core import TaskTypeInfo, TopologyInfo, TraceBuilder
+
+    topology = TopologyInfo(num_nodes=2, cores_per_node=2,
+                            name="foreign")
+    builder = TraceBuilder(topology)
+    for type_id, name in enumerate(("compute", "reduce")):
+        builder.describe_task_type(TaskTypeInfo(
+            type_id=type_id, name=name, address=0,
+            source_file="", source_line=0))
+    cycles = builder.describe_counter("cycles")
+    flops = builder.describe_counter("flops", monotone=False)
+    task_id = 0
+    for core in range(topology.num_cores):
+        t = 1_000 * core
+        for i in range(12):
+            start, end = t, t + 400 + 37 * ((core + i) % 5)
+            if i % 3 == 0:
+                builder.state_interval(core, i % 6, start, end)
+            else:
+                builder.task_execution(task_id, task_id % 2, core,
+                                       start, end)
+                task_id += 1
+            builder.counter_sample(core, cycles, start, float(start))
+            builder.counter_sample(core, flops, start,
+                                   float((i * 7) % 90))
+            if i % 4 == 0:
+                builder.discrete_event(core, i % 3, start, i)
+            if i % 5 == 0:
+                builder.comm_event(core,
+                                   (core + 1) % topology.num_cores,
+                                   start, size=64 * (i + 1),
+                                   task_id=task_id - 1)
+            t = end + 50
+    return builder.build()
 
 
 def golden_expectations(trace):
@@ -80,7 +128,8 @@ def golden_expectations(trace):
 
 
 def main():
-    from repro.trace_format import write_trace
+    from repro.trace_format import export_chrome, export_paraver, \
+        ingest_trace, write_trace
 
     DATA_DIR.mkdir(parents=True, exist_ok=True)
     expectations = {}
@@ -90,6 +139,18 @@ def main():
         expectations[name] = golden_expectations(trace)
         print("wrote {} ({} records, {} bytes)".format(
             path, records, path.stat().st_size))
+    foreign = build_foreign_trace()
+    export_paraver(foreign, str(DATA_DIR / "golden_foreign.prv"))
+    export_chrome(foreign, str(DATA_DIR / "golden_foreign.json"))
+    expectations["foreign"] = golden_expectations(foreign)
+    for filename in FOREIGN_FIXTURES:
+        ingested = golden_expectations(
+            ingest_trace(str(DATA_DIR / filename)))
+        if ingested != expectations["foreign"]:
+            raise SystemExit("{} does not reproduce the pinned "
+                             "foreign expectations".format(filename))
+        print("wrote {} (ingestion verified)".format(
+            DATA_DIR / filename))
     json_path = DATA_DIR / "golden_expectations.json"
     with open(json_path, "w") as stream:
         json.dump(expectations, stream, indent=1, sort_keys=True)

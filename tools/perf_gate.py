@@ -19,6 +19,10 @@ Entries recorded at the ``small`` scale are skipped with a notice:
 constant overheads dominate there and the benches themselves skip
 their assertions.  A tracked metric missing from the fresh history is
 an error — a silently vanished benchmark must not pass the gate.
+Metrics marked ``always`` opt out of every bypass: they are enforced
+at any scale and ignore ``gate: skip`` markers, so a scale-independent
+single-core floor (like the ingest throughput) cannot silently vanish
+on a 1-CPU runner.
 
 Usage:
 
@@ -43,12 +47,19 @@ DEFAULT_HISTORY = ROOT / "BENCH_HISTORY.json"
 
 @dataclass(frozen=True)
 class TrackedMetric:
-    """One enforced entry of the perf history (higher is better)."""
+    """One enforced entry of the perf history (higher is better).
+
+    ``always=True`` removes every bypass: the metric is enforced even
+    when its entry was recorded at the ``small`` scale or carries
+    ``gate: skip`` — for scale-independent single-core floors that
+    must hold on any runner, including 1-CPU CI machines.
+    """
 
     section: str
     bench: str
     metric: str
     floor: float
+    always: bool = False
 
     @property
     def key(self):
@@ -61,6 +72,8 @@ TRACKED = (
     TrackedMetric("pr4", "cache_reopen", "reopen_speedup", 5.0),
     TrackedMetric("pr4", "frame_loop", "frame_speedup", 10.0),
     TrackedMetric("pr5", "sweep_scaling", "pool_speedup", 3.0),
+    TrackedMetric("pr6", "ingest_throughput", "events_per_sec",
+                  10_000.0, always=True),
 )
 
 
@@ -88,11 +101,11 @@ def check_history(history, baseline=None, slack=0.0):
             failures.append("{}: missing from history (benchmark did "
                             "not run?)".format(tracked.key))
             continue
-        if entry.get("scale") == "small":
+        if not tracked.always and entry.get("scale") == "small":
             lines.append("{}: skipped (recorded at small scale)"
                          .format(tracked.key))
             continue
-        if entry.get("gate") == "skip":
+        if not tracked.always and entry.get("gate") == "skip":
             lines.append("{}: skipped ({})".format(
                 tracked.key, entry.get("gate_reason", "bench opted "
                                        "out")))
@@ -112,8 +125,10 @@ def check_history(history, baseline=None, slack=0.0):
             reference = _entry(baseline, tracked)
             # Baselines recorded at small scale or explicitly opted
             # out are not comparable to a default-scale fresh run —
-            # the floor stays the only check then.
-            if reference is not None and (
+            # the floor stays the only check then.  Always-enforced
+            # metrics are scale-independent by contract, so their
+            # baselines stay comparable.
+            if not tracked.always and reference is not None and (
                     reference.get("scale") == "small"
                     or reference.get("gate") == "skip"):
                 reference = None
