@@ -149,8 +149,14 @@ class ColumnarTrace(EventViewMixin):
 
     def __init__(self, topology, states, tasks, discrete, comm, accesses,
                  counter_lanes, counter_descriptions, task_types, regions,
-                 time_bounds=None):
+                 time_bounds=None, pyramids=None):
         self.topology = topology
+        # Persisted render pyramids of a memory-mapped open (see
+        # repro.trace_format.cache.MappedPyramids); in-memory stores
+        # build the equivalent structures lazily instead.  Windowed
+        # sub-traces never inherit them: their lanes are slices the
+        # persisted levels do not describe.
+        self.pyramids = pyramids
         self.states = LaneStack(states, ("core", "state", "start", "end"))
         self.tasks = LaneStack(tasks, ("task_id", "type_id", "core",
                                        "start", "end"))
@@ -241,6 +247,19 @@ class ColumnarTrace(EventViewMixin):
         """The structured sample array of one counter on one core."""
         empty = np.empty(0, dtype=COUNTER_DTYPE)
         return self.counter_lanes.get((core, counter_id), empty)
+
+    def counter_samples(self, core, counter_id):
+        """(timestamps, values) arrays for one counter on one core.
+
+        Served straight from the lane dict: the first frame after a
+        mapped reopen must not pay for cutting field views of every
+        counter lane (the ``counter_series`` property) to read one.
+        """
+        lane = self.counter_lanes.get((core, counter_id))
+        if lane is None:
+            return (np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.float64))
+        return lane["timestamp"], lane["value"]
 
     # -- zero-copy window slicing -------------------------------------
     def slice_time_window(self, start, end):

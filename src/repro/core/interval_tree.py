@@ -66,12 +66,58 @@ class MinMaxTree:
         if arity < 2:
             raise ValueError("arity must be at least 2")
         self.arity = arity
-        leaves = np.asarray(values, dtype=np.float64)
+        # Contiguous leaves: strided column views (structured lanes)
+        # would push every leaf-level ``reduceat`` onto numpy's slow
+        # buffered path — 3-4x the per-frame kernel cost.
+        leaves = np.ascontiguousarray(values, dtype=np.float64)
         self._mins = [leaves]
         self._maxs = [leaves]
         while len(self._mins[-1]) > 1:
             self._mins.append(self._reduce(self._mins[-1], np.fmin))
             self._maxs.append(self._reduce(self._maxs[-1], np.fmax))
+
+    @classmethod
+    def from_levels(cls, values, mins_levels, maxs_levels,
+                    arity=DEFAULT_ARITY):
+        """A tree whose internal levels were computed earlier (e.g.
+        persisted in the ``.ostc`` sidecar and memory-mapped back).
+
+        ``mins_levels`` / ``maxs_levels`` are the internal levels above
+        the leaves, finest first — exactly ``tree._mins[1:]`` /
+        ``tree._maxs[1:]`` of the tree :meth:`__init__` would build
+        over ``values`` with the same ``arity``.  Level shapes are
+        validated (including that the last level is a single root), so
+        a sidecar whose pyramid does not match its lane raises instead
+        of answering queries wrongly.  No internal level is copied:
+        mapped views stay mapped, and none of their pages is faulted
+        until a query folds over it.  The leaves are compacted into
+        one contiguous float64 array (like :meth:`__init__`): every
+        leaf-path query folds over them, and a strided column view
+        would put that fold on numpy's slow buffered path.
+        """
+        if arity < 2:
+            raise ValueError("arity must be at least 2")
+        if len(mins_levels) != len(maxs_levels):
+            raise ValueError("mismatched min/max pyramid levels")
+        tree = cls.__new__(cls)
+        tree.arity = arity
+        leaves = np.ascontiguousarray(values, dtype=np.float64)
+        tree._mins = [leaves]
+        tree._maxs = [leaves]
+        expected = len(leaves)
+        for level_mins, level_maxs in zip(mins_levels, maxs_levels):
+            expected = (expected + arity - 1) // arity
+            if len(level_mins) != expected \
+                    or len(level_maxs) != expected:
+                raise ValueError(
+                    "pyramid level sizes do not match the leaves")
+            tree._mins.append(np.asarray(level_mins,
+                                         dtype=np.float64))
+            tree._maxs.append(np.asarray(level_maxs,
+                                         dtype=np.float64))
+        if len(tree._mins[-1]) > 1:
+            raise ValueError("pyramid is missing its root level")
+        return tree
 
     def _reduce(self, level, combine):
         count = len(level)

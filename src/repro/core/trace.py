@@ -281,8 +281,97 @@ class EventViewMixin:
         tree = trees.get(key)
         if tree is None:
             __, values = self.counter_samples(core, counter_id)
-            tree = trees[key] = MinMaxTree(values, arity=arity)
+            pyramids = getattr(self, "pyramids", None)
+            if pyramids is not None:
+                # A memory-mapped store serves the persisted pyramid
+                # levels instead of rebuilding the tree: first frame
+                # after reopen touches O(header) bytes, not the lane.
+                tree = pyramids.counter_tree(core, counter_id, values,
+                                             arity)
+            if tree is None:
+                tree = MinMaxTree(values, arity=arity)
+            trees[key] = tree
         return tree
+
+    def counter_columns(self, core, counter_id, view):
+        """Persisted pixel columns for a counter lane under ``view``,
+        or ``None`` when they cannot serve it.
+
+        A mapped store carries pre-rendered whole-trace columns at the
+        standard tile widths (written by the render kernel itself, so
+        they are bit-identical to rendering live).  They apply only to
+        a fit view — full time bounds, aggregated regime, persisted
+        width; anything else falls back to the kernel.  Returns the
+        ``(xs, vmins, vmaxs)`` triple the kernel would have produced.
+        """
+        pyramids = getattr(self, "pyramids", None)
+        if pyramids is None:
+            return None
+        if (view.start, view.end) != (self.begin, self.end):
+            return None
+        if view.duration < view.width:
+            return None
+        columns = pyramids.counter_columns(core, counter_id, view.width)
+        if columns is None:
+            return None
+        vmins, vmaxs = columns
+        xs = np.flatnonzero(~np.isnan(vmins))
+        return xs, vmins[xs], vmaxs[xs]
+
+    def state_index(self, core):
+        """One core's exact per-state coverage index, memoized.
+
+        Served from the sidecar's persisted pyramid on memory-mapped
+        stores, built lazily from the state lane otherwise; ``None``
+        when the lane cannot be indexed (overlapping intervals within
+        a state), in which case rendering falls back to the reference
+        walk.  See :class:`repro.core.pyramid.StateIndex`.
+        """
+        from .pyramid import StateIndex
+        cache = getattr(self, "_state_indexes", None)
+        if cache is None:
+            cache = {}
+            self._state_indexes = cache
+        if core in cache:
+            return cache[core]
+        index = None
+        pyramids = getattr(self, "pyramids", None)
+        if pyramids is not None:
+            index = pyramids.state_index(core)
+        if index is None:
+            index = StateIndex.build(
+                self.states.core_column(core, "start"),
+                self.states.core_column(core, "end"),
+                self.states.core_column(core, "state"))
+        cache[core] = index
+        return index
+
+    def state_tiles(self, core):
+        """One core's dominant-state + event-count tiles, memoized.
+
+        Served from the sidecar's persisted pyramid on memory-mapped
+        stores, built lazily otherwise; ``None`` when the lane cannot
+        be indexed.  See :class:`repro.core.pyramid.StateTiles`.
+        """
+        from .pyramid import build_state_tiles
+        cache = getattr(self, "_state_tiles", None)
+        if cache is None:
+            cache = {}
+            self._state_tiles = cache
+        if core in cache:
+            return cache[core]
+        tiles = None
+        pyramids = getattr(self, "pyramids", None)
+        if pyramids is not None:
+            tiles = pyramids.state_tiles(core)
+        if tiles is None:
+            index = self.state_index(core)
+            if index is not None:
+                tiles = build_state_tiles(
+                    index, self.states.core_column(core, "start"),
+                    self.begin, self.end)
+        cache[core] = tiles
+        return tiles
 
     # -- per-event dataclass views ------------------------------------
     def task_by_id(self, task_id):

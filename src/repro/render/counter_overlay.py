@@ -15,10 +15,13 @@ Two implementations of the optimized mode coexist:
   :meth:`~repro.core.interval_tree.MinMaxTree.query_segments` pass
   computes every column's extremes at once, with the per-``(core,
   counter)`` trees memoized on the trace store
-  (:meth:`~repro.core.trace.EventViewMixin.minmax_tree`) so repeated
-  zoom/pan frames rebuild nothing;
-* the **scalar reference** (``vectorized=False``, and the automatic
-  fallback for views zoomed below one cycle per pixel) — the original
+  (:meth:`~repro.core.trace.EventViewMixin.minmax_tree` — served from
+  the ``.ostc`` sidecar's persisted pyramid levels on memory-mapped
+  stores) so repeated zoom/pan frames rebuild nothing; views zoomed
+  below one cycle per pixel (overlapping widened pixel intervals) use
+  the gather-based :func:`_column_extremes_zoomed` variant instead of
+  falling back to the per-pixel loop;
+* the **scalar reference** (``vectorized=False``) — the original
   per-pixel loop, kept as the executable specification the parity
   tests and the interactive benchmark compare against.
 
@@ -93,6 +96,11 @@ def _column_extremes(timestamps, values, view, tree=None):
     interpolate at the pixel center exactly like the scalar reference.
     Returns ``(xs, vmins, vmaxs)`` for the columns to draw.
     """
+    empty = np.empty(0, dtype=np.float64)
+    if len(timestamps) == 0:
+        # Nothing to draw, like the scalar reference (and unlike the
+        # unguarded kernel, which indexed timestamps[0]/[-1]).
+        return np.empty(0, dtype=np.int64), empty, empty
     edges = _pixel_edges(view)
     boundaries = np.searchsorted(timestamps, edges, side="left")
     if tree is not None:
@@ -101,6 +109,51 @@ def _column_extremes(timestamps, values, view, tree=None):
         vmins, vmaxs = segment_minmax(values, boundaries)
     covered = np.diff(boundaries) > 0
     centers = (edges[:-1] + edges[1:]) // 2
+    inside = (~covered & (centers >= timestamps[0])
+              & (centers <= timestamps[-1]))
+    if inside.any():
+        interpolated = np.interp(centers[inside], timestamps, values)
+        vmins[inside] = interpolated
+        vmaxs[inside] = interpolated
+    draw = covered | inside
+    xs = np.flatnonzero(draw)
+    return xs, vmins[draw], vmaxs[draw]
+
+
+def _column_extremes_zoomed(timestamps, values, view):
+    """Per-column (vmin, vmax) for views zoomed below one cycle per
+    pixel, batched.
+
+    In this regime zero-cycle pixel intervals are widened to one cycle
+    (``TimelineView.pixel_interval``), so adjacent columns *overlap*
+    and no single partition of the lane exists; instead each column's
+    (possibly shared) sample range is gathered and reduced in one
+    ``reduceat`` pass — the ranges span at most a few samples at this
+    zoom, so the cost stays O(width).  Empty columns interpolate at
+    the pixel center.  Bit-identical to the scalar per-pixel loop.
+    Returns ``(xs, vmins, vmaxs)`` for the columns to draw.
+    """
+    empty = np.empty(0, dtype=np.float64)
+    if len(timestamps) == 0:
+        return np.empty(0, dtype=np.int64), empty, empty
+    edges = _pixel_edges(view)
+    t0 = edges[:-1]
+    t1 = np.maximum(edges[1:], t0 + 1)
+    lo = np.searchsorted(timestamps, t0, side="left")
+    hi = np.searchsorted(timestamps, t1, side="left")
+    covered = hi > lo
+    vmins = np.full(view.width, np.nan, dtype=np.float64)
+    vmaxs = np.full(view.width, np.nan, dtype=np.float64)
+    if covered.any():
+        range_lo = lo[covered]
+        range_len = (hi - lo)[covered]
+        first = np.cumsum(range_len) - range_len
+        flat = (np.arange(int(range_len.sum()))
+                - np.repeat(first - range_lo, range_len))
+        gathered = np.asarray(values, dtype=np.float64)[flat]
+        vmins[covered] = np.minimum.reduceat(gathered, first)
+        vmaxs[covered] = np.maximum.reduceat(gathered, first)
+    centers = (t0 + t1) // 2
     inside = (~covered & (centers >= timestamps[0])
               & (centers <= timestamps[-1]))
     if inside.any():
@@ -158,16 +211,28 @@ def render_counter(trace, counter, view, framebuffer, core=0,
             framebuffer.draw_line(max(x0, 0), y0,
                                   min(x1, view.width - 1), y1, color)
         return framebuffer.draw_calls - before
-    if vectorized and view.duration >= view.width:
-        tree = None
-        if counter_index is not None:
-            tree = counter_index.tree(core, counter_id)
+    if vectorized:
+        served = getattr(trace, "counter_columns", None)
+        columns = (served(core, counter_id, view)
+                   if served is not None else None)
+        if columns is not None:
+            # A mapped store persisted this view's pixel columns at
+            # cache-write time — computed by _column_extremes itself,
+            # so drawing them is bit-identical to running the kernel.
+            xs, vmins, vmaxs = columns
+        elif view.duration >= view.width:
+            tree = None
+            if counter_index is not None:
+                tree = counter_index.tree(core, counter_id)
+            else:
+                memoized = getattr(trace, "minmax_tree", None)
+                if memoized is not None:
+                    tree = memoized(core, counter_id)
+            xs, vmins, vmaxs = _column_extremes(timestamps, values,
+                                                view, tree=tree)
         else:
-            memoized = getattr(trace, "minmax_tree", None)
-            if memoized is not None:
-                tree = memoized(core, counter_id)
-        xs, vmins, vmaxs = _column_extremes(timestamps, values, view,
-                                            tree=tree)
+            xs, vmins, vmaxs = _column_extremes_zoomed(timestamps,
+                                                       values, view)
         _draw_columns(framebuffer, xs, vmins, vmaxs, bounds, top,
                       height, color)
         return framebuffer.draw_calls - before
@@ -213,8 +278,13 @@ def render_derived_series(series, view, framebuffer, color=(90, 220, 90),
     hi = float(np.max(values))
     bounds = (lo, hi if hi > lo else lo + 1.0)
     before = framebuffer.draw_calls
-    if vectorized and view.duration >= view.width:
-        xs, vmins, vmaxs = _column_extremes(timestamps, values, view)
+    if vectorized:
+        if view.duration >= view.width:
+            xs, vmins, vmaxs = _column_extremes(timestamps, values,
+                                                view)
+        else:
+            xs, vmins, vmaxs = _column_extremes_zoomed(timestamps,
+                                                       values, view)
         _draw_columns(framebuffer, xs, vmins, vmaxs, bounds, top,
                       height, color)
         return framebuffer.draw_calls - before

@@ -113,6 +113,13 @@ class TimelineMode:
         """``(starts, ends, keys)`` of one core's drawable events."""
         raise NotImplementedError
 
+    def pixel_keys(self, trace, core, view):
+        """Predominant key per pixel straight from a per-trace index,
+        or ``None`` to derive them from :meth:`lane_events` (the
+        default).  Modes backed by a persisted pyramid override this
+        so a frame never touches the event lane."""
+        return None
+
     def color_of(self, key):
         """RGB color of one event key."""
         raise NotImplementedError
@@ -132,6 +139,21 @@ class StateMode(TimelineMode):
         return (trace.states.core_column(core, "start"),
                 trace.states.core_column(core, "end"),
                 trace.states.core_column(core, "state"))
+
+    def pixel_keys(self, trace, core, view):
+        """Per-pixel dominant states served by the state pyramid
+        (persisted in the ``.ostc`` sidecar on mapped stores, memoized
+        in memory otherwise): exact coverage via per-state prefix
+        sums, O(width log n) per lane at any zoom, bit-identical to
+        the :func:`_predominant_keys` reference.  ``None`` when the
+        lane cannot be indexed."""
+        indexed = getattr(trace, "state_index", None)
+        if indexed is None:
+            return None
+        index = indexed(core)
+        if index is None:
+            return None
+        return index.pixel_keys(view)
 
     def color_of(self, key):
         """The state palette color of one state id."""
@@ -426,12 +448,17 @@ def _paint_background(framebuffer, lane_height, lane_tops):
 
 
 def render_timeline(trace, mode, view=None, framebuffer=None,
-                    optimized=True):
+                    optimized=True, indexed=True):
     """Render one timeline mode into a framebuffer.
 
     ``optimized=True`` uses predominant-pixel rendering with rectangle
     aggregation; ``optimized=False`` renders one rectangle per event
     (the naive approach of Fig. 20), useful only for benchmarking.
+    With ``indexed=True`` (default) a mode backed by a per-trace
+    pyramid (:meth:`TimelineMode.pixel_keys`) computes each lane's
+    per-pixel keys without touching the event lane; ``indexed=False``
+    keeps the lane-scanning path as the parity reference.  Both
+    produce bit-identical framebuffers and draw-call counts.
     """
     view = TimelineView.fit(trace) if view is None else view
     if framebuffer is None:
@@ -441,12 +468,18 @@ def render_timeline(trace, mode, view=None, framebuffer=None,
     _paint_background(framebuffer, lane_height, lane_tops)
     framebuffer.reset_counters()
     for core in range(trace.num_cores):
+        top = lane_tops[core]
+        if optimized and indexed and not mode.continuous:
+            pixel_keys = mode.pixel_keys(trace, core, view)
+            if pixel_keys is not None:
+                _fill_key_runs(framebuffer, mode, pixel_keys, view, top,
+                               lane_height)
+                continue
         starts, ends, keys = mode.lane_events(trace, core)
         visible = interval_slice(starts, ends, view.start, view.end)
         starts = starts[visible]
         ends = ends[visible]
         keys = keys[visible]
-        top = lane_tops[core]
         if mode.continuous:
             _render_lane_continuous(framebuffer, mode, view, starts, ends,
                                     keys, top, lane_height)
@@ -462,6 +495,12 @@ def render_timeline(trace, mode, view=None, framebuffer=None,
 def _render_lane_optimized(framebuffer, mode, view, starts, ends, keys,
                            top, lane_height):
     pixel_keys = _predominant_keys(starts, ends, keys, view)
+    _fill_key_runs(framebuffer, mode, pixel_keys, view, top, lane_height)
+
+
+def _fill_key_runs(framebuffer, mode, pixel_keys, view, top, lane_height):
+    """Aggregate equal-key pixel runs into single rectangle fills
+    (Section VI-B's draw-call aggregation)."""
     x = 0
     width = view.width
     while x < width:

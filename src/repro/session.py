@@ -98,6 +98,51 @@ class AnalysisSession:
         return self._move(TimelineView.fit(self.trace, self.view.width,
                                            self.view.height))
 
+    # -- overview -------------------------------------------------------
+    def overview(self, width=256):
+        """A whole-trace dominant-state strip per core from the state
+        pyramid tiles.
+
+        Returns ``(edges, dominant, events)``: tile edge timestamps
+        (length ``tiles + 1``), an ``(num_cores, tiles)`` matrix of
+        dominant state ids (-1 = idle/unindexed) and the matching
+        matrix of event counts (state intervals starting per tile).
+        The tile level is the coarsest with at least ``width`` tiles,
+        so on a memory-mapped trace this reads only the persisted tile
+        blobs — the minimap never scans an event lane.
+        """
+        import numpy as np
+        trace = self.trace
+        rows, counts, level = [], [], None
+        edges = None
+        for core in range(trace.num_cores):
+            tiles = trace.state_tiles(core)
+            if tiles is None or not tiles.levels:
+                rows.append(None)
+                counts.append(None)
+                continue
+            if level is None:
+                level = tiles.level_for_width(width)
+                edges = tiles.edges(level)
+            rows.append(tiles.dominant(level))
+            counts.append(tiles.event_counts(level))
+        if edges is None:
+            # No indexable lane (or a sub-16-cycle trace): one tile
+            # spanning everything, nothing dominant.
+            edges = np.asarray([trace.begin, max(trace.end,
+                                                 trace.begin + 1)],
+                               dtype=np.int64)
+        tiles_per_row = len(edges) - 1
+        dominant = np.full((trace.num_cores, tiles_per_row), -1,
+                           dtype=np.int64)
+        events = np.zeros((trace.num_cores, tiles_per_row),
+                          dtype=np.int64)
+        for core in range(trace.num_cores):
+            if rows[core] is not None and len(rows[core]) == tiles_per_row:
+                dominant[core] = rows[core]
+                events[core] = counts[core]
+        return edges, dominant, events
+
     # -- annotations ----------------------------------------------------
     def annotate(self, text, timestamp=None, core=None, author=""):
         """Drop an annotation at a timestamp (default: view center)."""

@@ -5,8 +5,8 @@ reading, synthetic trace files — are documented in
 ``docs/trace-format.md`` and ``docs/architecture.md``.
 """
 
-from .cache import (CacheError, StaleCacheError, default_cache_path,
-                    load_cache, write_cache)
+from .cache import (CacheError, MappedPyramids, StaleCacheError,
+                    default_cache_path, load_cache, write_cache)
 from .chunked import (ChunkEntry, ChunkIndex, ScanStats,
                       read_chunk_index, read_window_columnar,
                       stream_window_records)
@@ -25,8 +25,8 @@ from .synthesize import write_synthetic_trace
 from .writer import (DEFAULT_CHUNK_RECORDS, IndexedTraceWriter,
                      TraceWriter, write_trace)
 
-__all__ = ["CacheError", "StaleCacheError", "default_cache_path",
-           "load_cache", "write_cache",
+__all__ = ["CacheError", "MappedPyramids", "StaleCacheError",
+           "default_cache_path", "load_cache", "write_cache",
            "ChunkEntry", "ChunkIndex", "ScanStats", "read_chunk_index",
            "read_window_columnar", "stream_window_records",
            "codec_for_path", "open_trace_file",

@@ -80,7 +80,8 @@ def _record_one(job):
 
 
 def _history(sweep_speedup=4.0, reopen=100.0, frames=12.0,
-             scale="default", ingest=120_000.0):
+             scale="default", ingest=120_000.0, first_frame=0.6,
+             deep_zoom=0.2):
     """A fresh history covering every tracked metric."""
     return {
         "pr4": {
@@ -95,6 +96,13 @@ def _history(sweep_speedup=4.0, reopen=100.0, frames=12.0,
         "pr6": {
             "ingest_throughput": {"scale": scale, "gate": "always",
                                   "events_per_sec": ingest},
+        },
+        "pr8": {
+            "first_frame_reopen": {"scale": scale,
+                                   "first_frame_reopen_ms":
+                                       first_frame},
+            "deep_zoom_frame": {"scale": scale,
+                                "deep_zoom_frame_ms": deep_zoom},
         },
     }
 
@@ -121,11 +129,14 @@ class TestPerfGate:
             _history(sweep_speedup=0.1, reopen=0.1, frames=0.1,
                      scale="small"))
         assert failures == []
-        # Every scale-gated metric skips; the always-enforced ingest
-        # floor still gets checked (and holds here).
+        # Every scale-gated metric skips; the always-enforced bounds
+        # (ingest floor, deep-zoom ceiling) still get checked (and
+        # hold here).
         skipped = [line for line in lines if "skipped" in line]
-        assert len(skipped) == len(perf_gate.TRACKED) - 1
+        assert len(skipped) == len(perf_gate.TRACKED) - 2
         assert any("ingest_throughput" in line and "skipped" not in
+                   line for line in lines)
+        assert any("deep_zoom_frame" in line and "skipped" not in
                    line for line in lines)
 
     def test_gate_skip_marker_respected(self):
@@ -163,6 +174,40 @@ class TestPerfGate:
                                                slack=0.5)
         assert any("ingest_throughput" in failure
                    and "regressed below" in failure
+                   for failure in failures)
+
+    def test_ceiling_metric_fails_above_the_bound(self):
+        """Latency metrics gate in the other direction: a value above
+        the ceiling fails even though every floor metric holds."""
+        failures, __ = perf_gate.check_history(_history(first_frame=2.5))
+        assert any("first_frame_reopen" in failure
+                   and "above the ceiling" in failure
+                   for failure in failures)
+
+    def test_ceiling_metric_passes_below_the_bound(self):
+        failures, __ = perf_gate.check_history(_history(first_frame=0.9,
+                                                        deep_zoom=0.9))
+        assert failures == []
+
+    def test_always_ceiling_enforced_at_small_scale(self):
+        """The deep-zoom frame is O(width) regardless of trace size,
+        so its ceiling holds even for a small-scale run."""
+        failures, __ = perf_gate.check_history(
+            _history(scale="small", deep_zoom=3.0))
+        assert any("deep_zoom_frame" in failure
+                   and "above the ceiling" in failure
+                   for failure in failures)
+
+    def test_ceiling_baseline_collapse_fails_even_below_ceiling(self):
+        """With slack, a latency that balloons versus the committed
+        baseline fails even while it still clears the ceiling."""
+        fresh = _history(first_frame=0.9)     # under the 1.0 ceiling
+        baseline = _history(first_frame=0.3)  # committed trajectory
+        failures, __ = perf_gate.check_history(fresh,
+                                               baseline=baseline,
+                                               slack=0.5)
+        assert any("first_frame_reopen" in failure
+                   and "regressed above" in failure
                    for failure in failures)
 
     def test_baseline_collapse_fails_even_above_floor(self):

@@ -489,3 +489,76 @@ class TestDerivedParity:
             other = columnar_series[name]
             assert np.array_equal(series.edges, other.edges), name
             assert np.array_equal(series.values, other.values), name
+
+
+class TestPyramidParity:
+    """ISSUE 8: frames served by the persisted render pyramids must be
+    bit-identical to the scalar references — on the plain stores, the
+    memory-mapped (cached) store whose pyramids come from the sidecar,
+    and ingested foreign traces."""
+
+    def stores(self, tmp_path, seed=4):
+        from repro.trace_format import (export_chrome, ingest_trace,
+                                        read_trace, write_trace)
+        trace = make_random_trace(seed, events_per_core=50)
+        path = str(tmp_path / "pyramid.ost")
+        write_trace(trace, path, chunk_records=64)
+        plain = read_trace(path, columnar=True, cache=False)
+        read_trace(path, cache=True)            # writes the sidecar
+        mapped = read_trace(path, cache=True)   # maps it back
+        assert mapped.pyramids is not None
+        chrome = str(tmp_path / "pyramid.json")
+        export_chrome(trace, chrome)
+        ingested = ingest_trace(chrome, columnar=True)
+        return (("object", trace), ("columnar", plain),
+                ("mapped", mapped), ("ingested", ingested))
+
+    def parity_views(self, trace):
+        base = TimelineView.fit(trace, width=160,
+                                height=5 * trace.num_cores)
+        yield base
+        yield base.zoom(5)
+        # Below one cycle per pixel: the deep-zoom regime.
+        yield base.zoom(max(trace.duration, 2))
+
+    def test_timeline_frames_match_reference(self, tmp_path):
+        for label, store in self.stores(tmp_path):
+            for view in self.parity_views(store):
+                reference_fb = render_timeline(store, StateMode(),
+                                               view, indexed=False)
+                indexed_fb = render_timeline(store, StateMode(), view)
+                assert np.array_equal(indexed_fb.pixels,
+                                      reference_fb.pixels), (label,
+                                                             view)
+                assert indexed_fb.draw_calls == \
+                    reference_fb.draw_calls, (label, view)
+
+    def test_counter_frames_match_reference(self, tmp_path):
+        for label, store in self.stores(tmp_path):
+            if not store.counter_descriptions:
+                continue
+            for view in self.parity_views(store):
+                for core in range(store.num_cores):
+                    scalar = Framebuffer(view.width, view.height)
+                    calls = render_counter(store, 0, view, scalar,
+                                           core=core, vectorized=False)
+                    served = Framebuffer(view.width, view.height)
+                    assert render_counter(store, 0, view, served,
+                                          core=core) == calls, \
+                        (label, view, core)
+                    assert np.array_equal(served.pixels,
+                                          scalar.pixels), (label, view,
+                                                           core)
+
+    def test_value_bounds_match_reference(self, tmp_path):
+        for label, store in self.stores(tmp_path):
+            if not store.counter_descriptions:
+                continue
+            expected = reference.counter_value_bounds(store, 0)
+            assert value_bounds(store, 0) == expected, label
+            # And the in-memory tree path agrees with the served one.
+            from repro.core import MinMaxTree
+            for core in range(store.num_cores):
+                served = store.minmax_tree(core, 0)
+                built = MinMaxTree(store.counter_samples(core, 0)[1])
+                assert served.bounds() == built.bounds(), (label, core)

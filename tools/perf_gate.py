@@ -6,8 +6,10 @@ machine-readable perf trajectory, one section per PR generation.  This
 tool turns it from a passive artifact into an enforced floor: every
 tracked metric in a freshly produced history must
 
-1. stay at or above its **asserted floor** (the same bound the bench
-   itself asserts at default scale — the hard line), and
+1. hold its **asserted bound** — at or above the floor for
+   higher-is-better metrics, at or below the ceiling for latency
+   metrics (the same bound the bench itself asserts at default scale
+   — the hard line), and
 2. with ``--slack`` above zero, not collapse versus the **committed
    baseline** — the checked-in ``BENCH_HISTORY.json`` of the branch
    point.  The default slack is 0.0 (report the baseline next to each
@@ -47,19 +49,22 @@ DEFAULT_HISTORY = ROOT / "BENCH_HISTORY.json"
 
 @dataclass(frozen=True)
 class TrackedMetric:
-    """One enforced entry of the perf history (higher is better).
+    """One enforced entry of the perf history.
 
-    ``always=True`` removes every bypass: the metric is enforced even
-    when its entry was recorded at the ``small`` scale or carries
-    ``gate: skip`` — for scale-independent single-core floors that
-    must hold on any runner, including 1-CPU CI machines.
+    By default higher is better and ``bound`` is a floor; with
+    ``ceiling=True`` lower is better (latency metrics) and ``bound``
+    is an upper limit.  ``always=True`` removes every bypass: the
+    metric is enforced even when its entry was recorded at the
+    ``small`` scale or carries ``gate: skip`` — for scale-independent
+    bounds that must hold on any runner, including 1-CPU CI machines.
     """
 
     section: str
     bench: str
     metric: str
-    floor: float
+    bound: float
     always: bool = False
+    ceiling: bool = False
 
     @property
     def key(self):
@@ -67,13 +72,21 @@ class TrackedMetric:
         return "{}/{}/{}".format(self.section, self.bench, self.metric)
 
 
-#: Every metric the gate enforces, with the floor its bench asserts.
+#: Every metric the gate enforces, with the bound its bench asserts.
 TRACKED = (
     TrackedMetric("pr4", "cache_reopen", "reopen_speedup", 5.0),
     TrackedMetric("pr4", "frame_loop", "frame_speedup", 10.0),
     TrackedMetric("pr5", "sweep_scaling", "pool_speedup", 3.0),
     TrackedMetric("pr6", "ingest_throughput", "events_per_sec",
                   10_000.0, always=True),
+    # ISSUE 8: interactivity ceilings of the persisted pyramids.  The
+    # first frame after a reopen is default-scale gated (it includes
+    # the mapped open); a deep-zoom frame is O(width) by construction,
+    # so its ceiling is scale-independent and always enforced.
+    TrackedMetric("pr8", "first_frame_reopen", "first_frame_reopen_ms",
+                  1.0, ceiling=True),
+    TrackedMetric("pr8", "deep_zoom_frame", "deep_zoom_frame_ms",
+                  1.0, always=True, ceiling=True),
 )
 
 
@@ -116,11 +129,17 @@ def check_history(history, baseline=None, slack=0.0):
                             .format(tracked.key))
             continue
         value = float(value)
-        status = "{}: {:.2f} (floor {:.2f}".format(
-            tracked.key, value, tracked.floor)
-        if value < tracked.floor:
+        bound_kind = "ceiling" if tracked.ceiling else "floor"
+        status = "{}: {:.2f} ({} {:.2f}".format(
+            tracked.key, value, bound_kind, tracked.bound)
+        if tracked.ceiling:
+            if value > tracked.bound:
+                failures.append(
+                    "{}: {:.2f} is above the ceiling {:.2f}"
+                    .format(tracked.key, value, tracked.bound))
+        elif value < tracked.bound:
             failures.append("{}: {:.2f} is below the floor {:.2f}"
-                            .format(tracked.key, value, tracked.floor))
+                            .format(tracked.key, value, tracked.bound))
         if baseline is not None:
             reference = _entry(baseline, tracked)
             # Baselines recorded at small scale or explicitly opted
@@ -136,13 +155,25 @@ def check_history(history, baseline=None, slack=0.0):
             if reference_value is not None:
                 reference_value = float(reference_value)
                 status += ", baseline {:.2f}".format(reference_value)
-                allowed = reference_value * slack
-                if slack > 0 and value < allowed:
-                    failures.append(
-                        "{}: {:.2f} regressed below {:.2f} "
-                        "({}% of the committed baseline {:.2f})"
-                        .format(tracked.key, value, allowed,
-                                int(slack * 100), reference_value))
+                if tracked.ceiling:
+                    # Lower is better: allow the latency to grow to
+                    # baseline / slack before calling it a collapse.
+                    allowed = (reference_value / slack if slack > 0
+                               else float("inf"))
+                    if slack > 0 and value > allowed:
+                        failures.append(
+                            "{}: {:.2f} regressed above {:.2f} "
+                            "(baseline {:.2f} / {}% slack)"
+                            .format(tracked.key, value, allowed,
+                                    reference_value, int(slack * 100)))
+                else:
+                    allowed = reference_value * slack
+                    if slack > 0 and value < allowed:
+                        failures.append(
+                            "{}: {:.2f} regressed below {:.2f} "
+                            "({}% of the committed baseline {:.2f})"
+                            .format(tracked.key, value, allowed,
+                                    int(slack * 100), reference_value))
         lines.append(status + ")")
     return failures, lines
 
