@@ -24,6 +24,8 @@ registry, and ``ingest`` converts foreign files to native explicitly.
     python examples/aftermath_cli.py task trace.ost.gz 17
     python examples/aftermath_cli.py compare base.ost cand.ost
     python examples/aftermath_cli.py sweep a.ost b.ost c.ost d.ost
+    python examples/aftermath_cli.py sweep suite_dir --resume
+    python examples/aftermath_cli.py queue-status suite_dir
     python examples/aftermath_cli.py ingest trace.prv trace.ost
 
 (Generate a trace first, e.g. with examples/quickstart.py.)
@@ -40,7 +42,8 @@ from repro.core import (TaskTypeFilter, communication_matrix,
 from repro.render import (HeatmapMode, NumaHeatmapMode, NumaMode,
                           StateMode, TimelineView, TypeMode,
                           matrix_to_text, render_timeline)
-from repro.trace_format import (detect_source, ingest_trace, read_trace,
+from repro.trace_format import (CacheError, FormatError, detect_source,
+                                ingest_trace, read_trace,
                                 registered_sources, write_trace)
 
 def load_trace(args):
@@ -48,11 +51,19 @@ def load_trace(args):
     so every subcommand accepts any registered format (native,
     Paraver ``.prv``, Chrome JSON); ``--cache`` routes native opens
     through the memory-mapped ``.ostc`` sidecar (first use writes it,
-    later runs map it back without re-parsing)."""
-    if getattr(args, "cache", False) \
-            and detect_source(args.trace).name == "native":
-        return read_trace(args.trace, cache=True)
-    return ingest_trace(args.trace)
+    later runs map it back without re-parsing).  Unreadable or corrupt
+    inputs surface as a one-line ``path: reason`` diagnostic, not a
+    traceback."""
+    try:
+        if getattr(args, "cache", False) \
+                and detect_source(args.trace).name == "native":
+            return read_trace(args.trace, cache=True)
+        return ingest_trace(args.trace)
+    except FormatError as error:
+        raise FormatError("{}: {}".format(args.trace, error))
+    except OSError as error:
+        raise FormatError("{}: {}".format(
+            args.trace, error.strerror or error))
 
 
 MODES = {
@@ -206,11 +217,27 @@ def cmd_compare(args):
 
 def cmd_sweep(args):
     """Analyze N traces through the pooled experiment engine and
-    print the cross-trace summary table."""
+    print the cross-trace summary table.  With ``--resume`` the single
+    positional argument is a suite directory: its durable journal is
+    drained first (completed points are never re-simulated), then the
+    produced traces are analyzed."""
     import json as json_module
 
     from repro.analysis.experiments import analyze_traces, sweep_table
-    summaries = analyze_traces(args.traces, workers=args.workers,
+    if args.resume:
+        if len(args.traces) != 1:
+            from repro.analysis.experiments import QueueError
+            raise QueueError("--resume takes exactly one suite "
+                             "directory, got {}".format(len(args.traces)))
+        from repro.analysis.experiments import resume_suite
+        report = resume_suite(args.traces[0], workers=args.workers)
+        print("resume: {}".format(report.describe()))
+        print("re-simulated completed points: {}".format(
+            report.resimulated))
+        traces = [path for path in report.paths if path]
+    else:
+        traces = args.traces
+    summaries = analyze_traces(traces, workers=args.workers,
                                cache=not args.no_cache)
     table = sweep_table(summaries, param=args.param)
     print(table.describe())
@@ -227,6 +254,14 @@ def cmd_sweep(args):
                              sort_keys=True)
             stream.write("\n")
         print("wrote", args.json)
+
+
+def cmd_queue_status(args):
+    """Show a suite directory's durable job journal: per-state counts
+    plus one line per job (quarantined jobs show the last line of
+    their captured traceback)."""
+    from repro.analysis.experiments import describe_queue
+    print(describe_queue(args.directory))
 
 
 def main(argv=None):
@@ -322,10 +357,35 @@ def main(argv=None):
                        help="write the machine-readable table here")
     sweep.add_argument("--no-cache", action="store_true",
                        help="parse instead of using .ostc sidecars")
+    sweep.add_argument("--resume", action="store_true",
+                       help="treat the argument as a suite directory: "
+                            "drain its durable journal (completed "
+                            "points are never re-simulated), then "
+                            "analyze the produced traces")
     sweep.set_defaults(handler=cmd_sweep)
 
+    status = commands.add_parser(
+        "queue-status",
+        help="show a suite directory's durable job journal")
+    status.add_argument("directory")
+    status.set_defaults(handler=cmd_queue_status)
+
     args = parser.parse_args(argv)
-    args.handler(args)
+    try:
+        args.handler(args)
+    except Exception as error:
+        from repro.analysis.experiments import ExperimentError
+        if not isinstance(error, (ExperimentError, FormatError,
+                                  CacheError, FileNotFoundError,
+                                  IsADirectoryError, NotADirectoryError,
+                                  PermissionError)):
+            raise
+        # Expected failure modes (unreadable trace, corrupt cache,
+        # quarantined sweep, missing journal) exit with a short
+        # diagnostic instead of a raw worker traceback.
+        message = str(error).strip() or type(error).__name__
+        print("aftermath_cli: {}".format(message), file=sys.stderr)
+        sys.exit(1)
 
 
 if __name__ == "__main__":

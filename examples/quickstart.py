@@ -27,7 +27,12 @@ walks the full pipeline in ten steps:
     Chrome trace-event JSON, ingest both back through the trace-source
     registry (which sniffs the format), and check the statistics
     match the native store — the analyses are runtime- and
-    format-agnostic.
+    format-agnostic;
+11. survive a *crash mid-sweep*: every point of a parameter sweep is
+    a job in a durable SQLite journal next to the traces, so a sweep
+    interrupted partway resumes from the journal alone and never
+    re-simulates a completed point (docs/architecture.md, "Failure
+    modes & recovery").
 
 Run:  python examples/quickstart.py [output-directory]
 """
@@ -194,6 +199,25 @@ def main(output_dir="."):
           state_time_summary(from_paraver) == state_time_summary(trace))
     print("chrome round trip is exact:",
           traces_equal(from_chrome, trace))
+
+    # 11. Crash-resilient sweeps: run_suite journals every point in
+    #     the suite directory's journal.sqlite before simulating it.
+    #     The max_jobs seam stands in for a crash — stop the drain
+    #     after 2 of 4 points — and resume_suite finishes the sweep
+    #     from the journal alone, re-simulating nothing that
+    #     completed.
+    from repro.analysis.experiments import (resume_suite, run_suite,
+                                            synthetic_sweep)
+    suite_dir = "{}/quickstart_suite".format(output_dir)
+    specs = synthetic_sweep(4, events=2_000)
+    run_suite(specs, suite_dir, workers=1, max_jobs=2)  # "crash" here
+    report = resume_suite(suite_dir, workers=1)
+    print("\ncrash-resumable sweep: {} of {} points survived the "
+          "interruption".format(report.done_before, len(specs)))
+    print("resumed sweep re-simulated completed points:",
+          report.resimulated)
+    print("sweep complete: {} of {} traces".format(
+        report.counts["done"], len(specs)))
 
 
 if __name__ == "__main__":

@@ -13,8 +13,15 @@ Modules:
   harness (scale presets, run-time pairs, per-workload trace
   builders); also importable as ``repro.experiments`` for
   compatibility;
-* :mod:`~repro.analysis.experiments.suite` — sweep specs, the pooled
-  suite runner and per-trace summaries;
+* :mod:`~repro.analysis.experiments.suite` — sweep specs, the
+  durable suite runner and per-trace summaries;
+* :mod:`~repro.analysis.experiments.queue` — the SQLite job journal
+  (states, leases, retry/backoff, quarantine) behind
+  :func:`run_suite`;
+* :mod:`~repro.analysis.experiments.store` — the content-addressed
+  trace store (dedup across overlapping sweeps, atomic publication);
+* :mod:`~repro.analysis.experiments.engine` — the crash-resilient
+  drive loop tying journal, store and worker processes together;
 * :mod:`~repro.analysis.experiments.aggregate` — exact cross-trace
   accumulator merges and per-parameter summary tables;
 * :mod:`~repro.analysis.experiments.diff` — the baseline/candidate
@@ -33,12 +40,16 @@ from .harness import (KMEANS_SIM_CONFIG, PIPELINE_FRAMES, PRESETS,
                       kmeans_makespan, kmeans_trace, pipeline_trace,
                       preset, runtime_pair, seidel_machine, seidel_trace,
                       wavefront_trace)
+from .engine import EngineReport, resume_suite_engine, run_suite_engine
+from .queue import (ExperimentError, JobQueue, JobRecord, QueueError,
+                    RetryPolicy, describe_queue, journal_path)
 from .render import (render_matrices_side_by_side, render_state_overlay,
                      render_timelines_side_by_side)
+from .store import StoreError, TraceStore, job_key, spec_key
 from .suite import (ExperimentSpec, TraceSummary, analyze_traces,
-                    block_size_sweep, fault_sweep, run_and_analyze,
-                    run_suite, scheduler_sweep, summarize_trace,
-                    synthetic_sweep)
+                    block_size_sweep, fault_sweep, generate_trace,
+                    resume_suite, run_and_analyze, run_suite,
+                    scheduler_sweep, summarize_trace, synthetic_sweep)
 
 __all__ = [
     "SweepRow", "SweepTable", "merged_comm_matrix", "merged_statistics",
@@ -51,7 +62,12 @@ __all__ = [
     "runtime_pair", "seidel_machine", "seidel_trace", "wavefront_trace",
     "render_matrices_side_by_side", "render_state_overlay",
     "render_timelines_side_by_side",
+    "EngineReport", "resume_suite_engine", "run_suite_engine",
+    "ExperimentError", "JobQueue", "JobRecord", "QueueError",
+    "RetryPolicy", "describe_queue", "journal_path",
+    "StoreError", "TraceStore", "job_key", "spec_key",
     "ExperimentSpec", "TraceSummary", "analyze_traces",
-    "block_size_sweep", "fault_sweep", "run_and_analyze", "run_suite",
+    "block_size_sweep", "fault_sweep", "generate_trace",
+    "resume_suite", "run_and_analyze", "run_suite",
     "scheduler_sweep", "summarize_trace", "synthetic_sweep",
 ]

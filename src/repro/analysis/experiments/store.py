@@ -1,0 +1,207 @@
+"""Content-addressed trace store for the experiment engine.
+
+Sweeps overlap: the scheduler sweep's ``seidel_opt`` point and a later
+combined sweep's optimized Seidel point are the *same simulation*, and
+the PR 5 engine happily ran it twice.  The store deduplicates them by
+keying every generated trace on a stable content hash of the
+generation-relevant spec fields — workload, run-time flavor, scale,
+seed, block size, event budget and planted faults, but *not* the
+display name or swept-parameter labels, which do not change a single
+trace byte.  Two specs with equal :func:`spec_key` share one stored
+artifact; a sweep that needs it again gets a free cache hit.
+
+Publication is crash-safe: artifacts are finalized with an atomic
+``os.replace`` from a temp file inside the store, so a SIGKILL at any
+instant leaves either the complete artifact or nothing — never a
+half-written trace under the final name.  Materializing into a suite
+directory prefers a hardlink (zero-copy) and falls back to
+``copy2``, which preserves ``mtime_ns`` so the ``.ostc`` sidecar's
+source stamp stays valid across store round-trips.
+
+The store also owns artifact health: :meth:`TraceStore.verify` runs
+the CRC pass of :func:`repro.trace_format.verify_trace` and
+:meth:`TraceStore.quarantine_artifact` moves a corrupt file aside
+(keeping it for post-mortem) so the engine can regenerate it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+
+from ...trace_format import verify_trace
+from ...trace_format.format import VERSION as FORMAT_VERSION
+from .queue import ExperimentError
+from .suite import ExperimentSpec
+
+#: Bump when the meaning of stored artifacts changes (trace format
+#: bumps are covered separately by ``FORMAT_VERSION`` in the key).
+STORE_VERSION = 1
+
+#: Spec fields that determine the generated trace bytes.  ``name`` and
+#: ``params`` are labels — excluded so renamed sweep points still hit.
+_GENERATION_FIELDS = ("workload", "optimized", "scale", "seed",
+                      "block_size", "events", "faults")
+
+
+class StoreError(ExperimentError):
+    """A content-store operation failed."""
+
+
+def _canonical(value):
+    """JSON-stable view of a spec field value (tuples become lists)."""
+    if isinstance(value, tuple):
+        return [_canonical(item) for item in value]
+    return value
+
+
+def _tupled(value):
+    """Inverse of :func:`_canonical`: lists back to nested tuples, so
+    round-tripped specs stay hashable and equal to the originals."""
+    if isinstance(value, list):
+        return tuple(_tupled(item) for item in value)
+    return value
+
+
+def spec_to_json(spec):
+    """Canonical JSON encoding of a spec (journal storage format)."""
+    payload = {
+        "name": spec.name, "workload": spec.workload,
+        "optimized": spec.optimized, "scale": spec.scale,
+        "seed": spec.seed, "block_size": spec.block_size,
+        "events": spec.events,
+        "params": _canonical(spec.params),
+        "faults": _canonical(spec.faults),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def spec_from_json(text):
+    """Rebuild an :class:`ExperimentSpec` from :func:`spec_to_json`."""
+    try:
+        payload = json.loads(text)
+        return ExperimentSpec(
+            name=payload["name"], workload=payload["workload"],
+            optimized=payload["optimized"], scale=payload["scale"],
+            seed=payload["seed"], block_size=payload["block_size"],
+            events=payload["events"],
+            params=_tupled(payload["params"]),
+            faults=_tupled(payload["faults"]))
+    except (ValueError, KeyError, TypeError) as error:
+        raise StoreError("malformed spec in journal: {}".format(error))
+
+
+def spec_key(spec):
+    """Content address of the trace a spec generates.
+
+    Stable across runs and processes; includes the trace-format and
+    store versions so format bumps key to fresh artifacts instead of
+    serving stale bytes.
+    """
+    payload = {name: _canonical(getattr(spec, name))
+               for name in _GENERATION_FIELDS}
+    payload["__format__"] = FORMAT_VERSION
+    payload["__store__"] = STORE_VERSION
+    blob = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def job_key(spec):
+    """Journal identity of a job: the full spec, labels included (two
+    differently-named points of one sweep are two jobs, even when they
+    share a :func:`spec_key` and therefore one stored artifact)."""
+    return hashlib.sha256(spec_to_json(spec).encode()).hexdigest()
+
+
+class TraceStore:
+    """A directory of content-addressed ``.ost`` artifacts."""
+
+    def __init__(self, root):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def path_for(self, key):
+        """Where artifact ``key`` lives (whether or not it exists)."""
+        return os.path.join(self.root, "{}.ost".format(key))
+
+    def contains(self, key):
+        """Whether artifact ``key`` has been published."""
+        return os.path.exists(self.path_for(key))
+
+    def publish(self, key, source_path):
+        """Atomically adopt ``source_path`` as artifact ``key``.
+
+        The source is copied to a temp file inside the store and
+        finalized with ``os.replace`` — a crash mid-publish leaves no
+        partial artifact.  Publishing an already-present key is a
+        no-op (first writer wins; contents are equal by construction).
+        Returns the stored path.
+        """
+        final = self.path_for(key)
+        if os.path.exists(final):
+            return final
+        descriptor, temp = tempfile.mkstemp(
+            dir=self.root, prefix=".publish-", suffix=".tmp")
+        try:
+            os.close(descriptor)
+            shutil.copy2(source_path, temp)
+            os.replace(temp, final)
+        except OSError as error:
+            raise StoreError("cannot publish {}: {}".format(
+                key[:12], error))
+        finally:
+            if os.path.exists(temp):
+                os.unlink(temp)
+        return final
+
+    def materialize(self, key, destination):
+        """Place artifact ``key`` at ``destination``.
+
+        Prefers a hardlink (zero-copy, shares bytes with the store);
+        falls back to ``copy2``, which preserves ``mtime_ns`` so any
+        ``.ostc`` sidecar stamped against the stored file stays fresh.
+        """
+        stored = self.path_for(key)
+        if not os.path.exists(stored):
+            raise StoreError("artifact {} is not in the store".format(
+                key[:12]))
+        if os.path.exists(destination):
+            os.unlink(destination)
+        try:
+            os.link(stored, destination)
+        except OSError:
+            shutil.copy2(stored, destination)
+        return destination
+
+    def verify(self, key):
+        """CRC-verify artifact ``key``; returns a
+        :class:`~repro.trace_format.chunked.TraceVerification` (never
+        raises on corruption — missing artifacts are ``ok=False``)."""
+        stored = self.path_for(key)
+        if not os.path.exists(stored):
+            from ...trace_format.chunked import TraceVerification
+            return TraceVerification(
+                ok=False, indexed=False, crc_checked=False,
+                chunks_ok=0, chunks_bad=0,
+                reason="artifact missing from store")
+        return verify_trace(stored)
+
+    def quarantine_artifact(self, key, reason=""):
+        """Move a corrupt artifact aside (kept for post-mortem) so the
+        key reads as absent and the engine regenerates it.  Returns
+        the quarantine path, or None when the artifact was absent."""
+        stored = self.path_for(key)
+        if not os.path.exists(stored):
+            return None
+        quarantine_dir = os.path.join(self.root, "quarantine")
+        os.makedirs(quarantine_dir, exist_ok=True)
+        target = os.path.join(quarantine_dir, "{}.ost".format(key))
+        os.replace(stored, target)
+        if reason:
+            with open(target + ".reason", "w") as stream:
+                stream.write(str(reason) + "\n")
+        return target

@@ -13,13 +13,21 @@ suite engine:
   seed-varied trace files for scale tests.
 * :func:`run_suite` executes every spec and writes one indexed trace
   file (plus its ``.ostc`` mapped-cache sidecar) per point into a
-  suite directory, sharded over a ``multiprocessing`` pool.
+  suite directory.  Since the durable-engine rework it is
+  crash-resilient: specs become jobs in a SQLite journal
+  (:mod:`~repro.analysis.experiments.queue`), artifacts live in a
+  content-addressed store (:mod:`~repro.analysis.experiments.store`),
+  and worker processes drain the journal with leases, backoff retries
+  and quarantine (:mod:`~repro.analysis.experiments.engine`).
+  :func:`resume_suite` picks a killed sweep back up from the journal
+  alone, never re-simulating completed points.
 * :func:`analyze_traces` ingests N trace files — from :func:`run_suite`
-  or anywhere else — through the same pool; each worker opens its
+  or anywhere else — through a worker pool; each worker opens its
   trace via the memory-mapped columnar cache (``read_trace(path,
   cache=True)``), so repeated sweeps over the same files fault in
   pages instead of re-parsing records, and folds it into one
-  :class:`TraceSummary`.
+  :class:`TraceSummary`.  Per-trace failures are collected, not
+  pool-fatal.
 
 Workers are separate processes, so specs and summaries are plain
 picklable dataclasses.  Platforms that cannot spawn processes (or
@@ -252,41 +260,53 @@ def summarize_trace(trace, name="", path="", params=None,
         peak_parallelism=peak_parallelism)
 
 
-def _run_spec(job):
-    """Worker body of :func:`run_suite`: simulate (or synthesize) one
-    spec and write its indexed trace file plus ``.ostc`` sidecar."""
-    spec, directory = job
-    path = os.path.join(directory, spec.trace_filename())
+def generate_trace(spec, path):
+    """Simulate (or synthesize) one spec's trace into ``path``.
+
+    The pure generation step of a sweep point — deterministic in the
+    spec, no sidecar, no journal.  The durable engine
+    (:mod:`repro.analysis.experiments.engine`) calls this into a temp
+    file and publishes the result to the content-addressed store.
+    """
     faults = spec.fault_config()
     if spec.workload == "synthetic":
         from ...trace_format.synthesize import write_synthetic_trace
         write_synthetic_trace(path, events=spec.events, seed=spec.seed,
                               faults=faults)
+        return path
+    from ...trace_format import write_trace
+    if spec.workload == "seidel":
+        __, trace = harness.seidel_trace(
+            optimized=spec.optimized, scale=spec.scale,
+            seed=spec.seed, faults=faults)
+    elif spec.workload == "kmeans":
+        kwargs = {}
+        if spec.block_size is not None:
+            kwargs["block_size"] = spec.block_size
+        __, trace = harness.kmeans_trace(
+            optimized=spec.optimized, scale=spec.scale,
+            seed=spec.seed, faults=faults, **kwargs)
+    elif spec.workload == "wavefront":
+        __, trace = harness.wavefront_trace(
+            optimized=spec.optimized, scale=spec.scale,
+            seed=spec.seed, faults=faults)
+    elif spec.workload == "pipeline":
+        __, trace = harness.pipeline_trace(
+            optimized=spec.optimized, scale=spec.scale,
+            seed=spec.seed, faults=faults)
     else:
-        from ...trace_format import write_trace
-        if spec.workload == "seidel":
-            __, trace = harness.seidel_trace(
-                optimized=spec.optimized, scale=spec.scale,
-                seed=spec.seed, faults=faults)
-        elif spec.workload == "kmeans":
-            kwargs = {}
-            if spec.block_size is not None:
-                kwargs["block_size"] = spec.block_size
-            __, trace = harness.kmeans_trace(
-                optimized=spec.optimized, scale=spec.scale,
-                seed=spec.seed, faults=faults, **kwargs)
-        elif spec.workload == "wavefront":
-            __, trace = harness.wavefront_trace(
-                optimized=spec.optimized, scale=spec.scale,
-                seed=spec.seed, faults=faults)
-        elif spec.workload == "pipeline":
-            __, trace = harness.pipeline_trace(
-                optimized=spec.optimized, scale=spec.scale,
-                seed=spec.seed, faults=faults)
-        else:
-            raise ValueError("unknown workload {!r}".format(
-                spec.workload))
-        write_trace(trace, path, index=True)
+        raise ValueError("unknown workload {!r}".format(spec.workload))
+    write_trace(trace, path, index=True)
+    return path
+
+
+def _run_spec(job):
+    """Simulate one spec straight into a suite directory (trace plus
+    ``.ostc`` sidecar) — the journal-free single-point path, kept for
+    callers that want one trace without engine machinery."""
+    spec, directory = job
+    path = generate_trace(
+        spec, os.path.join(directory, spec.trace_filename()))
     from ...trace_format import read_trace
     read_trace(path, cache=True)        # write the sidecar through
     return path
@@ -294,14 +314,23 @@ def _run_spec(job):
 
 def _summarize_path(job):
     """Worker body of :func:`analyze_traces`: open one trace through
-    the mapped cache and summarize it."""
+    the mapped cache and summarize it.  Failures come back as data —
+    ``("error", diagnostic)`` — instead of tearing down the pool, so
+    one unreadable trace cannot lose the other workers' results."""
     path, name, params, cache = job
-    from ...trace_format import read_trace
-    if cache:
-        trace = read_trace(path, cache=True)
-    else:
-        trace = read_trace(path, columnar=True)
-    return summarize_trace(trace, name=name, path=path, params=params)
+    try:
+        from ...trace_format import read_trace
+        if cache:
+            trace = read_trace(path, cache=True)
+        else:
+            trace = read_trace(path, columnar=True)
+        return ("ok", summarize_trace(trace, name=name, path=path,
+                                      params=params))
+    except Exception as error:
+        message = str(error).strip().splitlines()
+        return ("error", "{}: {}: {}".format(
+            path, type(error).__name__,
+            message[0] if message else "failed"))
 
 
 def _pooled_map(function, jobs, workers):
@@ -331,23 +360,72 @@ def resolve_suite_workers(workers, num_jobs):
     return resolve_workers(workers, num_jobs)
 
 
-def run_suite(specs, directory, workers=None):
+def run_suite(specs, directory, workers=None, strict=True, retry=None,
+              max_jobs=None):
     """Execute every spec of a sweep; returns the trace paths in order.
 
     Each spec becomes one indexed trace file (plus its ``.ostc``
-    mapped-cache sidecar) under ``directory``, produced by a pool of
-    ``workers`` processes — simulations of different sweep points are
-    independent, so the suite scales with cores.
+    mapped-cache sidecar) under ``directory``, produced by worker
+    processes draining the directory's durable job journal
+    (:mod:`repro.analysis.experiments.engine`).  The call is
+    idempotent and crash-resumable: re-running it over the same
+    directory simulates only the points that never completed, and
+    sweep points whose content hash matches an artifact already in
+    the suite store are materialized for free instead of re-simulated.
+
+    A failing spec retries with backoff per ``retry`` (a
+    :class:`~repro.analysis.experiments.queue.RetryPolicy`; default 3
+    attempts) and is then quarantined with its traceback — the rest of
+    the sweep always completes.  With ``strict=True`` (default) any
+    quarantined spec then raises a one-line-per-spec
+    :class:`~repro.analysis.experiments.queue.ExperimentError`;
+    ``strict=False`` returns ``None`` in that spec's slot instead.
+    ``max_jobs`` stops the (then serial) drain after that many job
+    executions — the crash-window test seam.
     """
+    from .engine import run_suite_engine
     specs = list(specs)
-    os.makedirs(directory, exist_ok=True)
-    workers = resolve_suite_workers(workers, len(specs))
-    jobs = [(spec, directory) for spec in specs]
-    return _pooled_map(_run_spec, jobs, workers)
+    report = run_suite_engine(specs, directory, workers=workers,
+                              retry=retry, max_jobs=max_jobs)
+    if strict and max_jobs is None:
+        _raise_for_quarantine(report, directory)
+    return report.paths
+
+
+def resume_suite(directory, workers=None, strict=True, retry=None,
+                 max_jobs=None):
+    """Resume a sweep from its journal alone; no spec list needed.
+
+    Returns the :class:`~repro.analysis.experiments.engine.
+    EngineReport` (its ``resimulated`` field is the crash-resume
+    property: zero completed points re-simulated).  Raises
+    :class:`~repro.analysis.experiments.queue.QueueError` when
+    ``directory`` has no journal.
+    """
+    from .engine import resume_suite_engine
+    report = resume_suite_engine(directory, workers=workers,
+                                 retry=retry, max_jobs=max_jobs)
+    if strict and max_jobs is None:
+        _raise_for_quarantine(report, directory)
+    return report
+
+
+def _raise_for_quarantine(report, directory):
+    from .queue import ExperimentError
+    if not report.quarantined:
+        return
+    lines = ["{} spec(s) quarantined after exhausting retries:".format(
+        len(report.quarantined))]
+    for record in report.quarantined:
+        last = (record.error or "").strip().splitlines()
+        lines.append("  {}: {}".format(
+            record.name, last[-1] if last else "unknown failure"))
+    lines.append("full tracebacks: queue-status {}".format(directory))
+    raise ExperimentError("\n".join(lines))
 
 
 def analyze_traces(paths, workers=None, cache=True, names=None,
-                   params=None):
+                   params=None, strict=True):
     """Summarize N trace files through a worker pool.
 
     Each worker opens its trace via the memory-mapped columnar cache
@@ -355,6 +433,13 @@ def analyze_traces(paths, workers=None, cache=True, names=None,
     not parsers) and folds it into a :class:`TraceSummary`.  Results
     keep the order of ``paths``.  ``names``/``params`` optionally label
     each summary (defaults: the file stem, no parameters).
+
+    One unreadable or corrupt trace no longer aborts the pool: every
+    other trace is still summarized, and the failures surface together
+    afterwards — as a one-line-per-trace
+    :class:`~repro.analysis.experiments.queue.ExperimentError` when
+    ``strict=True`` (default), or as ``None`` placeholders when
+    ``strict=False``.
     """
     paths = [str(path) for path in paths]
     if names is None:
@@ -369,14 +454,35 @@ def analyze_traces(paths, workers=None, cache=True, names=None,
     workers = resolve_suite_workers(workers, len(paths))
     jobs = [(path, name, spec_params, cache)
             for path, name, spec_params in zip(paths, names, params)]
-    return _pooled_map(_summarize_path, jobs, workers)
+    outcomes = _pooled_map(_summarize_path, jobs, workers)
+    failures = [detail for status, detail in outcomes
+                if status == "error"]
+    if failures and strict:
+        from .queue import ExperimentError
+        raise ExperimentError(
+            "{} of {} trace(s) failed to analyze:\n  {}".format(
+                len(failures), len(paths), "\n  ".join(failures)))
+    return [detail if status == "ok" else None
+            for status, detail in outcomes]
 
 
-def run_and_analyze(specs, directory, workers=None, cache=True):
-    """:func:`run_suite` then :func:`analyze_traces`, labeled by spec."""
+def run_and_analyze(specs, directory, workers=None, cache=True,
+                    strict=True):
+    """:func:`run_suite` then :func:`analyze_traces`, labeled by spec.
+
+    With ``strict=False`` a quarantined spec yields ``None`` in both
+    the path and summary slots instead of raising.
+    """
     specs = list(specs)
-    paths = run_suite(specs, directory, workers=workers)
-    return analyze_traces(
-        paths, workers=workers, cache=cache,
-        names=[spec.name for spec in specs],
-        params=[spec.param_dict() for spec in specs])
+    paths = run_suite(specs, directory, workers=workers, strict=strict)
+    produced = [(path, spec) for path, spec in zip(paths, specs)
+                if path is not None]
+    summaries = analyze_traces(
+        [path for path, __ in produced], workers=workers, cache=cache,
+        names=[spec.name for __, spec in produced],
+        params=[spec.param_dict() for __, spec in produced],
+        strict=strict)
+    by_path = {path: summary
+               for (path, __), summary in zip(produced, summaries)}
+    return [by_path.get(path) if path is not None else None
+            for path in paths]

@@ -7,12 +7,14 @@ reading, synthetic trace files — are documented in
 
 from .cache import (CacheError, MappedPyramids, StaleCacheError,
                     default_cache_path, load_cache, write_cache)
-from .chunked import (ChunkEntry, ChunkIndex, ScanStats,
-                      read_chunk_index, read_window_columnar,
-                      stream_window_records)
+from .chunked import (ChunkEntry, ChunkIndex, SalvageReport, ScanStats,
+                      TraceVerification, read_chunk_index,
+                      read_window_columnar, salvage_records,
+                      salvage_trace, stream_window_records, verify_trace)
 from .chrome import export_chrome, import_chrome
 from .compression import codec_for_path, open_trace_file
-from .format import FormatError, MAGIC, RecordTag, VERSION
+from .format import (CorruptChunkError, FormatError, MAGIC, RecordTag,
+                     VERSION)
 from .ingest import (TraceSource, detect_source, ingest_trace,
                      register_source, registered_sources)
 from .paraver import export_paraver, import_paraver
@@ -27,10 +29,13 @@ from .writer import (DEFAULT_CHUNK_RECORDS, IndexedTraceWriter,
 
 __all__ = ["CacheError", "MappedPyramids", "StaleCacheError",
            "default_cache_path", "load_cache", "write_cache",
-           "ChunkEntry", "ChunkIndex", "ScanStats", "read_chunk_index",
-           "read_window_columnar", "stream_window_records",
+           "ChunkEntry", "ChunkIndex", "SalvageReport", "ScanStats",
+           "TraceVerification", "read_chunk_index",
+           "read_window_columnar", "salvage_records", "salvage_trace",
+           "stream_window_records", "verify_trace",
            "codec_for_path", "open_trace_file",
-           "FormatError", "MAGIC", "RecordTag", "VERSION",
+           "CorruptChunkError", "FormatError", "MAGIC", "RecordTag",
+           "VERSION",
            "TraceSource", "detect_source", "ingest_trace",
            "register_source", "registered_sources",
            "export_chrome", "import_chrome",

@@ -440,47 +440,100 @@ def load_cache(cache_path, source_path=None):
                 "cache {} is stale for {}".format(cache_path, source_path))
     if header.get("dtypes") != _DTYPE_TABLE:
         raise CacheError("cache lane dtypes do not match this version")
-    topology = TopologyInfo(**header["topology"])
-    manifest = header["manifest"]
-    for name in ("states", "tasks", "discrete", "comm", "accesses"):
-        if len(manifest[name]) != topology.num_cores:
-            raise CacheError("cache manifest does not cover every core")
+    # A syntactically-valid JSON header can still describe garbage (a
+    # bit flip inside a manifest number, a truncated file whose blobs
+    # the header no longer covers).  Everything from here on converts
+    # structural surprises into CacheError so callers rebuild the
+    # sidecar instead of crashing at first render.
+    try:
+        topology = TopologyInfo(**header["topology"])
+        manifest = header["manifest"]
+        for name in ("states", "tasks", "discrete", "comm", "accesses"):
+            if len(manifest[name]) != topology.num_cores:
+                raise CacheError(
+                    "cache manifest does not cover every core")
 
-    mapped = np.memmap(cache_path, dtype=np.uint8, mode="r")
-    # Slice through a base-class view: ``np.memmap.__getitem__`` and
-    # ``__array_finalize__`` cost ~7x a plain ndarray slice, and a
-    # reopen cuts one view per lane plus one per pyramid blob.  The
-    # flat view keeps the memmap alive through its ``.base`` chain.
-    flat = mapped.view(np.ndarray)
+        mapped = np.memmap(cache_path, dtype=np.uint8, mode="r")
+        # Slice through a base-class view: ``np.memmap.__getitem__``
+        # and ``__array_finalize__`` cost ~7x a plain ndarray slice,
+        # and a reopen cuts one view per lane plus one per pyramid
+        # blob.  The flat view keeps the memmap alive through its
+        # ``.base`` chain.
+        flat = mapped.view(np.ndarray)
 
-    def lane_view(entry, dtype):
-        offset = data_start + entry[0]
-        nbytes = entry[1] * dtype.itemsize
-        if offset + nbytes > len(mapped):
-            raise CacheError("cache manifest points past end of file")
-        return flat[offset:offset + nbytes].view(dtype)
+        def lane_view(entry, dtype):
+            offset = data_start + int(entry[0])
+            nbytes = int(entry[1]) * dtype.itemsize
+            if entry[0] < 0 or entry[1] < 0 \
+                    or offset + nbytes > len(mapped):
+                raise CacheError(
+                    "cache manifest points past end of file")
+            return flat[offset:offset + nbytes].view(dtype)
 
-    lanes = {name: [lane_view(entry, dtype)
-                    for entry in manifest[name]]
-             for name, dtype in _STACKS}
-    counter_lanes = {
-        (entry[0], entry[1]): lane_view(entry[2:], COUNTER_DTYPE)
-        for entry in manifest["counters"]}
-    return ColumnarTrace(
-        pyramids=MappedPyramids(lane_view, header),
-        topology=topology,
-        states=lanes["states"], tasks=lanes["tasks"],
-        discrete=lanes["discrete"], comm=lanes["comm"],
-        accesses=lanes["accesses"], counter_lanes=counter_lanes,
-        counter_descriptions=[CounterDescription(**entry)
-                              for entry in
-                              header["counter_descriptions"]],
-        task_types=[TaskTypeInfo(**entry)
-                    for entry in header["task_types"]],
-        regions=[RegionInfo(region_id=entry["region_id"],
-                            address=entry["address"],
-                            size=entry["size"],
-                            page_nodes=tuple(entry["page_nodes"]),
-                            name=entry["name"])
-                 for entry in header["regions"]],
-        time_bounds=header["time_bounds"])
+        _validate_pyramids(manifest, data_start, len(mapped))
+        lanes = {name: [lane_view(entry, dtype)
+                        for entry in manifest[name]]
+                 for name, dtype in _STACKS}
+        counter_lanes = {
+            (entry[0], entry[1]): lane_view(entry[2:], COUNTER_DTYPE)
+            for entry in manifest["counters"]}
+        return ColumnarTrace(
+            pyramids=MappedPyramids(lane_view, header),
+            topology=topology,
+            states=lanes["states"], tasks=lanes["tasks"],
+            discrete=lanes["discrete"], comm=lanes["comm"],
+            accesses=lanes["accesses"], counter_lanes=counter_lanes,
+            counter_descriptions=[CounterDescription(**entry)
+                                  for entry in
+                                  header["counter_descriptions"]],
+            task_types=[TaskTypeInfo(**entry)
+                        for entry in header["task_types"]],
+            regions=[RegionInfo(region_id=entry["region_id"],
+                                address=entry["address"],
+                                size=entry["size"],
+                                page_nodes=tuple(entry["page_nodes"]),
+                                name=entry["name"])
+                     for entry in header["regions"]],
+            time_bounds=header["time_bounds"])
+    except CacheError:
+        raise
+    except (TypeError, ValueError, KeyError, IndexError) as error:
+        raise CacheError("malformed cache manifest: {}".format(error))
+
+
+def _validate_pyramids(manifest, data_start, size):
+    """Bounds-check every pyramid blob of a manifest at load time.
+
+    Pyramid blobs are only *viewed* lazily by :class:`MappedPyramids`
+    accessors; without this pass a truncated file or a corrupted
+    manifest entry would surface mid-render (as an opaque numpy error)
+    instead of as a rebuildable :class:`CacheError` at open."""
+
+    def check(offset, count, itemsize=8):
+        offset, count = int(offset), int(count)
+        if offset < 0 or count < 0 \
+                or data_start + offset + count * itemsize > size:
+            raise CacheError("cache pyramid blob points past "
+                             "end of file")
+
+    for entry in manifest.get("counter_pyramids", ()):
+        core, counter_id, leaf, levels, tiles = entry
+        int(core), int(counter_id)
+        check(leaf[0], leaf[1])
+        for mins_offset, maxs_offset, count in levels:
+            check(mins_offset, count)
+            check(maxs_offset, count)
+        for vmins_offset, vmaxs_offset, count in tiles:
+            check(vmins_offset, count)
+            check(vmaxs_offset, count)
+    for entry in manifest.get("state_pyramids", ()):
+        core, blobs, tile_entries = entry
+        int(core)
+        if len(blobs) != 5:
+            raise CacheError("state pyramid manifest entry must "
+                             "carry 5 index blobs")
+        for blob in blobs:
+            check(blob[0], blob[1])
+        for dominant_offset, events_offset, count in tile_entries:
+            check(dominant_offset, count)
+            check(events_offset, count)

@@ -46,6 +46,7 @@ class RecordTag(enum.IntEnum):
     COMM_EVENT = 9
     MEMORY_ACCESS = 10
     CHUNK_INDEX = 11
+    CHUNK_INDEX_V2 = 12
 
 
 TAG = struct.Struct("<B")
@@ -85,6 +86,23 @@ CHUNK_ENTRY = struct.Struct("<QQqqIiB")
 INDEX_HEADER = struct.Struct("<I")          # number of entries
 INDEX_TRAILER = struct.Struct("<Q8s")       # offset of the index, magic
 
+# --- version-2 index: per-chunk CRC32 ---------------------------------------
+#
+# The v2 footer (CHUNK_INDEX_V2 tag, AFTMIDX2 trailer magic) carries a
+# CRC32 of every chunk's bytes and of the preamble, so readers detect
+# a flipped bit or a truncated chunk *before* mis-parsing it, and the
+# salvage path can recover the complete verified prefix of a damaged
+# trace.  v1 files (and files written with ``crc=False``) keep their
+# old footer and stay readable — the directory layout only differs in
+# the trailer magic and the per-entry trailing CRC word.
+
+INDEX_MAGIC_V2 = b"AFTMIDX2"
+
+#: v2 entry: the v1 fields plus the chunk's CRC32.
+CHUNK_ENTRY_V2 = struct.Struct("<QQqqIiBI")
+#: v2 header: number of entries, CRC32 of the preamble bytes.
+INDEX_HEADER_V2 = struct.Struct("<II")
+
 #: Flag: the chunk contains static records (topology, descriptions);
 #: readers must visit it regardless of the requested time window.
 CHUNK_HAS_STATIC = 0x01
@@ -100,3 +118,16 @@ def pack_string(text):
 
 class FormatError(ValueError):
     """Raised on malformed trace files."""
+
+
+class CorruptChunkError(FormatError):
+    """A chunk failed its CRC check or could not be read in full.
+
+    Carries enough context (``offset``, ``expected``/``actual`` CRC)
+    for the salvage path to report what was dropped."""
+
+    def __init__(self, message, offset=None, expected=None, actual=None):
+        super().__init__(message)
+        self.offset = offset
+        self.expected = expected
+        self.actual = actual

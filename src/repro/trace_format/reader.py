@@ -104,8 +104,9 @@ def parse_records(stream):
             yield "region", RegionInfo(
                 region_id=region_id, address=address, size=size,
                 page_nodes=nodes, name=stream.string())
-        elif tag == fmt.RecordTag.CHUNK_INDEX:
-            _skip_chunk_index(stream)
+        elif tag in (fmt.RecordTag.CHUNK_INDEX,
+                     fmt.RecordTag.CHUNK_INDEX_V2):
+            _skip_chunk_index(stream, tag == fmt.RecordTag.CHUNK_INDEX_V2)
         elif tag in _EVENT_DECODERS:
             structure, record = _EVENT_DECODERS[tag]
             yield record, structure.unpack(
@@ -114,16 +115,23 @@ def parse_records(stream):
             raise fmt.FormatError("unknown record tag {}".format(tag))
 
 
-def _skip_chunk_index(stream):
+def _skip_chunk_index(stream, v2=False):
     """Consume a chunk-index footer (entries plus trailer) during a
     sequential scan.  The directory is only useful through the seeking
     readers in :mod:`repro.trace_format.chunked`."""
-    (count,) = fmt.INDEX_HEADER.unpack(
-        stream.exactly(fmt.INDEX_HEADER.size))
-    stream.exactly(count * fmt.CHUNK_ENTRY.size)
+    if v2:
+        count, __ = fmt.INDEX_HEADER_V2.unpack(
+            stream.exactly(fmt.INDEX_HEADER_V2.size))
+        stream.exactly(count * fmt.CHUNK_ENTRY_V2.size)
+        expected_magic = fmt.INDEX_MAGIC_V2
+    else:
+        (count,) = fmt.INDEX_HEADER.unpack(
+            stream.exactly(fmt.INDEX_HEADER.size))
+        stream.exactly(count * fmt.CHUNK_ENTRY.size)
+        expected_magic = fmt.INDEX_MAGIC
     __, magic = fmt.INDEX_TRAILER.unpack(
         stream.exactly(fmt.INDEX_TRAILER.size))
-    if magic != fmt.INDEX_MAGIC:
+    if magic != expected_magic:
         raise fmt.FormatError("corrupt chunk-index trailer")
 
 
@@ -182,14 +190,26 @@ def read_trace_stream(raw, columnar=False):
     """Load a trace from an open binary stream (header included)."""
     stream = _Stream(raw)
     check_header(stream)
+    return build_trace(parse_records(stream), columnar=columnar)
+
+
+def build_trace(records, columnar=False):
+    """Fold an iterable of ``(kind, fields)`` pairs — the shape
+    :func:`parse_records` yields — into a trace store.
+
+    Shared by the full-file readers and the corruption-salvage path
+    (:func:`repro.trace_format.chunked.salvage_trace`), which feeds
+    only the verified prefix of a damaged file through the same
+    builders.
+    """
     if columnar:
-        return _read_columnar(stream)
+        return _build_columnar(records)
     topology = None
     counters = []
     task_types = []
     regions = []
     events = []
-    for kind, fields in parse_records(stream):
+    for kind, fields in records:
         if kind == "topology":
             topology = fields
         elif kind == "counter_description":
@@ -214,13 +234,13 @@ def read_trace_stream(raw, columnar=False):
     return builder.build()
 
 
-def _read_columnar(stream):
+def _build_columnar(records):
     """Fill a :class:`~repro.core.columnar.ColumnarBuilder` straight
     from the record stream.  The builder tolerates a topology arriving
     anywhere, so events append to their columns as they are parsed."""
     from ..core.columnar import ColumnarBuilder
     builder = ColumnarBuilder()
-    for kind, fields in parse_records(stream):
+    for kind, fields in records:
         if kind == "topology":
             builder.set_topology(fields)
         elif kind == "counter_description":

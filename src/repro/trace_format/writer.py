@@ -20,6 +20,7 @@ Two writers are provided:
 from __future__ import annotations
 
 import heapq
+import zlib
 
 from . import format as fmt
 from .compression import codec_for_path, open_trace_file
@@ -45,7 +46,11 @@ class TraceWriter:
         covered by an event record (``None`` for static records);
         ``core`` is the originating core, when meaningful.  Both are
         ignored here and consumed by :class:`IndexedTraceWriter`."""
-        data = fmt.TAG.pack(int(tag)) + payload
+        self._emit(fmt.TAG.pack(int(tag)) + payload, span=span, core=core)
+
+    def _emit(self, data, span=None, core=None):
+        """Write one composed record; the single point subclasses hook
+        to account chunk ranges and checksums over the exact bytes."""
         self.stream.write(data)
         self.position += len(data)
         self.records_written += 1
@@ -142,14 +147,27 @@ class IndexedTraceWriter(TraceWriter):
     so no reader can skip it.  Call :meth:`finish` (or use the writer
     as a context manager) to emit the index footer — an unfinished
     indexed trace is still a valid, merely unindexed, trace file.
+
+    With ``crc=True`` (the default) every chunk's bytes — and the
+    preamble's — are checksummed as they are written, and the footer
+    uses the version-2 directory layout that stores one CRC32 per
+    entry.  Readers then detect corrupted or truncated chunks before
+    mis-parsing them, and the salvage path
+    (:func:`repro.trace_format.chunked.salvage_records`) can recover
+    the verified prefix of a damaged file.  ``crc=False`` emits the
+    legacy version-1 footer, which old readers understand.
     """
 
-    def __init__(self, stream, chunk_records=DEFAULT_CHUNK_RECORDS):
+    def __init__(self, stream, chunk_records=DEFAULT_CHUNK_RECORDS,
+                 crc=True):
         if chunk_records < 1:
             raise ValueError("chunk_records must be positive")
         super().__init__(stream)
         self.chunk_records = chunk_records
+        self.crc = bool(crc)
         self.entries = []
+        self._preamble_crc = 0
+        self._chunk_crc = 0
         self._chunking_started = False
         self._chunk_start = None
         self._chunk_records = 0
@@ -166,14 +184,17 @@ class IndexedTraceWriter(TraceWriter):
         if exc_type is None:
             self.finish()
 
-    def _record(self, tag, payload, span=None, core=None):
+    def _emit(self, data, span=None, core=None):
         offset = self.position
-        super()._record(tag, payload, span=span, core=core)
+        super()._emit(data, span=span, core=core)
         if span is None and not self._chunking_started:
-            return                      # preamble static record
+            # Preamble static record.
+            self._preamble_crc = zlib.crc32(data, self._preamble_crc)
+            return
         self._chunking_started = True
         if self._chunk_start is None:
             self._open_chunk(offset)
+        self._chunk_crc = zlib.crc32(data, self._chunk_crc)
         if span is None:
             self._chunk_flags |= fmt.CHUNK_HAS_STATIC
         else:
@@ -196,6 +217,7 @@ class IndexedTraceWriter(TraceWriter):
         self._chunk_start = offset
         self._chunk_records = 0
         self._chunk_flags = 0
+        self._chunk_crc = 0
         self._chunk_t_min = None
         self._chunk_t_max = None
         self._chunk_core = fmt.MIXED_CORES
@@ -213,10 +235,11 @@ class IndexedTraceWriter(TraceWriter):
                              self.position - self._chunk_start,
                              t_min, t_max,
                              self._chunk_records, self._chunk_core,
-                             self._chunk_flags))
+                             self._chunk_flags, self._chunk_crc))
         self._chunk_start = None
         self._chunk_records = 0
         self._chunk_flags = 0
+        self._chunk_crc = 0
 
     def finish(self):
         """Close the open chunk and append the index footer.  Returns
@@ -226,12 +249,21 @@ class IndexedTraceWriter(TraceWriter):
             return self.records_written
         self._close_chunk()
         index_offset = self.position
-        footer = [fmt.TAG.pack(int(fmt.RecordTag.CHUNK_INDEX)),
-                  fmt.INDEX_HEADER.pack(len(self.entries))]
-        footer.extend(fmt.CHUNK_ENTRY.pack(*entry)
-                      for entry in self.entries)
-        footer.append(fmt.INDEX_TRAILER.pack(index_offset,
-                                             fmt.INDEX_MAGIC))
+        if self.crc:
+            footer = [fmt.TAG.pack(int(fmt.RecordTag.CHUNK_INDEX_V2)),
+                      fmt.INDEX_HEADER_V2.pack(len(self.entries),
+                                               self._preamble_crc)]
+            footer.extend(fmt.CHUNK_ENTRY_V2.pack(*entry)
+                          for entry in self.entries)
+            footer.append(fmt.INDEX_TRAILER.pack(index_offset,
+                                                 fmt.INDEX_MAGIC_V2))
+        else:
+            footer = [fmt.TAG.pack(int(fmt.RecordTag.CHUNK_INDEX)),
+                      fmt.INDEX_HEADER.pack(len(self.entries))]
+            footer.extend(fmt.CHUNK_ENTRY.pack(*entry[:7])
+                          for entry in self.entries)
+            footer.append(fmt.INDEX_TRAILER.pack(index_offset,
+                                                 fmt.INDEX_MAGIC))
         data = b"".join(footer)
         self.stream.write(data)
         self.position += len(data)
@@ -240,21 +272,24 @@ class IndexedTraceWriter(TraceWriter):
 
 
 def write_trace(trace, path, index="auto",
-                chunk_records=DEFAULT_CHUNK_RECORDS):
+                chunk_records=DEFAULT_CHUNK_RECORDS, crc=True):
     """Serialize a :class:`Trace` to ``path`` (compressed if the suffix
     says so).  Returns the number of records written.
 
     ``index`` controls the seekable chunk index: ``True`` to append it,
     ``False`` to skip it, or ``"auto"`` (the default) to append it
     exactly when the file is uncompressed — compressed streams are not
-    seekable, so an index inside them could never be used.
+    seekable, so an index inside them could never be used.  ``crc``
+    selects the checksummed version-2 footer (``False`` writes the
+    legacy version-1 layout).
     """
     if index == "auto":
         index = codec_for_path(path) is None
     with open_trace_file(path, "wb") as stream:
         if index:
             writer = IndexedTraceWriter(stream,
-                                        chunk_records=chunk_records)
+                                        chunk_records=chunk_records,
+                                        crc=crc)
         else:
             writer = TraceWriter(stream)
         _write_records(writer, trace)

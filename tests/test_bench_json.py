@@ -81,7 +81,7 @@ def _record_one(job):
 
 def _history(sweep_speedup=4.0, reopen=100.0, frames=12.0,
              scale="default", ingest=120_000.0, first_frame=0.6,
-             deep_zoom=0.2):
+             deep_zoom=0.2, analyze=900_000.0):
     """A fresh history covering every tracked metric."""
     return {
         "pr4": {
@@ -103,6 +103,10 @@ def _history(sweep_speedup=4.0, reopen=100.0, frames=12.0,
                                        first_frame},
             "deep_zoom_frame": {"scale": scale,
                                 "deep_zoom_frame_ms": deep_zoom},
+        },
+        "pr9": {
+            "analyze_throughput": {"scale": scale, "gate": "always",
+                                   "events_per_sec": analyze},
         },
     }
 
@@ -130,13 +134,15 @@ class TestPerfGate:
                      scale="small"))
         assert failures == []
         # Every scale-gated metric skips; the always-enforced bounds
-        # (ingest floor, deep-zoom ceiling) still get checked (and
-        # hold here).
+        # (ingest + analyze floors, deep-zoom ceiling) still get
+        # checked (and hold here).
         skipped = [line for line in lines if "skipped" in line]
-        assert len(skipped) == len(perf_gate.TRACKED) - 2
+        assert len(skipped) == len(perf_gate.TRACKED) - 3
         assert any("ingest_throughput" in line and "skipped" not in
                    line for line in lines)
         assert any("deep_zoom_frame" in line and "skipped" not in
+                   line for line in lines)
+        assert any("analyze_throughput" in line and "skipped" not in
                    line for line in lines)
 
     def test_gate_skip_marker_respected(self):

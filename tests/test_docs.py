@@ -61,6 +61,11 @@ def test_quickstart_example_runs_and_covers_both_stores(tmp_path,
     assert "quickstart.prv -> paraver, quickstart.json -> chrome" in out
     assert "paraver round trip keeps state times: True" in out
     assert "chrome round trip is exact: True" in out
+    assert "crash-resumable sweep: 2 of 4 points survived the " \
+        "interruption" in out
+    assert "resumed sweep re-simulated completed points: 0" in out
+    assert "sweep complete: 4 of 4 traces" in out
+    assert (tmp_path / "quickstart_suite" / "journal.sqlite").exists()
     assert (tmp_path / "quickstart.ostc").exists()
     assert (tmp_path / "quickstart_states.ppm").exists()
     assert (tmp_path / "quickstart_compare.ppm").exists()

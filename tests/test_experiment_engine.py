@@ -63,9 +63,12 @@ class TestSweepSpecs:
         assert specs[0].workload == "kmeans"
 
     def test_unknown_workload_rejected(self, tmp_path):
+        from repro.analysis.experiments import (ExperimentError,
+                                                RetryPolicy)
         spec = ExperimentSpec(name="bad", workload="galactic")
-        with pytest.raises(ValueError):
-            run_suite([spec], str(tmp_path))
+        with pytest.raises(ExperimentError, match="unknown workload"):
+            run_suite([spec], str(tmp_path),
+                      retry=RetryPolicy(max_attempts=1))
 
 
 class TestSuiteRunner:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import contextlib
 import json
+import os
 import pathlib
 
 try:
@@ -42,17 +43,45 @@ CURRENT_SECTION = "pr5"
 @contextlib.contextmanager
 def _locked(path):
     """Hold an exclusive advisory lock tied to ``path`` (no-op where
-    ``fcntl`` is unavailable)."""
+    ``fcntl`` is unavailable).
+
+    The sidecar lock file is removed on exit so interrupted benchmark
+    runs stop littering ``*.json.lock`` files next to the history.
+    Removal is only safe with revalidation: after acquiring the lock,
+    the held descriptor must still be the file at ``lock_path`` — a
+    concurrent holder may have unlinked it between our ``open`` and
+    ``flock``, in which case we hold a lock nobody else can contend
+    on and must retry on the fresh file.
+    """
     if fcntl is None:
         yield
         return
     lock_path = path.with_suffix(path.suffix + ".lock")
-    with open(lock_path, "w") as lock:
-        fcntl.flock(lock, fcntl.LOCK_EX)
+    while True:
+        lock = open(lock_path, "w")
         try:
-            yield
-        finally:
-            fcntl.flock(lock, fcntl.LOCK_UN)
+            fcntl.flock(lock, fcntl.LOCK_EX)
+            try:
+                if os.fstat(lock.fileno()).st_ino \
+                        == os.stat(lock_path).st_ino:
+                    break
+            except OSError:
+                pass          # unlinked under us: retry
+        except BaseException:
+            lock.close()
+            raise
+        lock.close()
+    try:
+        yield
+    finally:
+        try:
+            # Unlink while still holding the exclusive lock: a waiter
+            # blocked in flock() wakes on the old inode, fails the
+            # revalidation above, and retries on a fresh lock file.
+            os.unlink(lock_path)
+        except OSError:
+            pass
+        lock.close()
 
 
 def _load(path):

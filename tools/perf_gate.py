@@ -87,6 +87,12 @@ TRACKED = (
                   1.0, ceiling=True),
     TrackedMetric("pr8", "deep_zoom_frame", "deep_zoom_frame_ms",
                   1.0, always=True, ceiling=True),
+    # ISSUE 9: the durable engine wraps every sweep point in journal,
+    # lease and CRC machinery; the per-trace analysis path must stay
+    # fast regardless.  Fixed corpus, single core: scale-independent,
+    # so the floor is enforced on any runner.
+    TrackedMetric("pr9", "analyze_throughput", "events_per_sec",
+                  50_000.0, always=True),
 )
 
 
