@@ -27,6 +27,15 @@ registry, and ``ingest`` converts foreign files to native explicitly.
     python examples/aftermath_cli.py sweep suite_dir --resume
     python examples/aftermath_cli.py queue-status suite_dir
     python examples/aftermath_cli.py ingest trace.prv trace.ost
+    python examples/aftermath_cli.py serve --port 8737 --root traces/
+    python examples/aftermath_cli.py info trace.ost \
+        --remote http://127.0.0.1:8737
+
+``serve`` starts the multi-tenant trace service
+(:mod:`repro.service`); ``--remote URL`` on ``info`` / ``report`` /
+``render`` runs the subcommand against such a server instead of
+opening the trace locally — N analysts share one mapped trace
+instead of N parses (docs/service-api.md).
 
 (Generate a trace first, e.g. with examples/quickstart.py.)
 """
@@ -39,9 +48,8 @@ from repro.core import (TaskTypeFilter, communication_matrix,
                         export_dot, export_task_table, interval_report,
                         reconstruct_task_graph, scan, symbols_from_trace,
                         task_details, task_type_profile)
-from repro.render import (HeatmapMode, NumaHeatmapMode, NumaMode,
-                          StateMode, TimelineView, TypeMode,
-                          matrix_to_text, render_timeline)
+from repro.render import (TIMELINE_MODES, TimelineView, matrix_to_text,
+                          render_timeline, timeline_mode)
 from repro.trace_format import (CacheError, FormatError, detect_source,
                                 ingest_trace, read_trace,
                                 registered_sources, write_trace)
@@ -66,17 +74,29 @@ def load_trace(args):
             args.trace, error.strerror or error))
 
 
-MODES = {
-    "state": StateMode,
-    "heatmap": HeatmapMode,
-    "typemap": TypeMode,
-    "numa-read": lambda: NumaMode("read"),
-    "numa-write": lambda: NumaMode("write"),
-    "numa-heatmap": NumaHeatmapMode,
-}
+def remote_client(args):
+    """The :class:`~repro.service.ServiceClient` behind ``--remote``,
+    or ``None`` when the subcommand should open the trace locally."""
+    url = getattr(args, "remote", None)
+    if url is None:
+        return None
+    from repro.service import ServiceClient
+    return ServiceClient(url)
 
 
 def cmd_info(args):
+    client = remote_client(args)
+    if client is not None:
+        reply = client.open(args.trace)
+        view = reply["view"]
+        print("remote trace {} (session {}, shared mapping: {})".format(
+            reply["path"], reply["session"], reply["shared"]))
+        print("cores: {}  duration: {} cycles".format(
+            reply["cores"], reply["duration"]))
+        print("view: [{}, {}] {}x{} px".format(
+            view["start"], view["end"], view["width"], view["height"]))
+        client.close(reply["session"])
+        return
     trace = load_trace(args)
     print(trace)
     print("machine: {} ({} nodes x {} cores)".format(
@@ -98,11 +118,30 @@ def cmd_info(args):
 
 
 def cmd_report(args):
+    client = remote_client(args)
+    if client is not None:
+        opened = client.open(args.trace)
+        window = {key: value for key, value in
+                  (("start", args.start), ("end", args.end))
+                  if value is not None}
+        stats = client.stats(opened["session"], **window)
+        print("remote interval [{}, {}]: {} tasks".format(
+            stats["start"], stats["end"], stats["tasks"]))
+        print("average parallelism: {:.3f}  locality: {:.3f}".format(
+            stats["average_parallelism"], stats["locality"]))
+        for state, cycles in sorted(stats["state_cycles"].items()):
+            print("  {:12s} {:>16d} cycles".format(state, cycles))
+        client.close(opened["session"])
+        return
     trace = load_trace(args)
     print(interval_report(trace, args.start, args.end).describe())
 
 
 def cmd_render(args):
+    client = remote_client(args)
+    if client is not None:
+        cmd_render_remote(args, client)
+        return
     trace = load_trace(args)
     view = TimelineView.fit(trace, args.width,
                             args.lane * trace.num_cores)
@@ -113,11 +152,41 @@ def cmd_render(args):
                        else trace.begin,
                        end=args.end if args.end is not None
                        else trace.end)
-    framebuffer = render_timeline(trace, MODES[args.mode](), view)
+    framebuffer = render_timeline(trace, timeline_mode(args.mode), view)
     framebuffer.save_ppm(args.output)
     print("wrote {} ({}x{}, {} draw calls)".format(
         args.output, framebuffer.width, framebuffer.height,
         framebuffer.draw_calls))
+
+
+def cmd_render_remote(args, client):
+    """``render --remote``: rasterize on the server, save PNG here.
+
+    The session's pixel geometry is fixed at ``open`` and the lane
+    height needs the core count, so a first open reads the topology
+    and the second (a pool hit — the mapping is already resident)
+    opens at the final size.
+    """
+    import base64
+    probe = client.open(args.trace)
+    opened = client.open(args.trace, width=args.width,
+                         height=args.lane * probe["cores"])
+    client.close(probe["session"])
+    if args.start is not None or args.end is not None:
+        view = opened["view"]
+        client.navigate(opened["session"], "goto",
+                        start=args.start if args.start is not None
+                        else view["start"],
+                        end=args.end if args.end is not None
+                        else view["end"])
+    reply = client.render(opened["session"], mode=args.mode,
+                          format="png")
+    with open(args.output, "wb") as handle:
+        handle.write(base64.b64decode(reply["png_base64"]))
+    client.close(opened["session"])
+    print("wrote {} ({}x{}, {} draw calls, png)".format(
+        args.output, reply["width"], reply["height"],
+        reply["draw_calls"]))
 
 
 def cmd_parallelism(args):
@@ -256,6 +325,25 @@ def cmd_sweep(args):
         print("wrote", args.json)
 
 
+def cmd_serve(args):
+    """Serve traces over HTTP: the multi-tenant analysis service of
+    :mod:`repro.service` in the foreground (Ctrl-C stops it)."""
+    from repro.service import create_server
+    server = create_server(host=args.host, port=args.port,
+                           root=args.root,
+                           pool_capacity=args.pool_capacity,
+                           verbose=args.verbose)
+    print("serving on {} (pool capacity {}{})".format(
+        server.url, args.pool_capacity,
+        ", root {}".format(args.root) if args.root else ""))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+
+
 def cmd_queue_status(args):
     """Show a suite directory's durable job journal: per-state counts
     plus one line per job (quarantined jobs show the last line of
@@ -277,15 +365,22 @@ def main(argv=None):
         sub.set_defaults(handler=handler)
         return sub
 
-    with_trace("info", cmd_info)
+    def with_remote(sub):
+        sub.add_argument("--remote", default=None, metavar="URL",
+                         help="run against an `aftermath_cli serve` "
+                              "server instead of opening locally")
+        return sub
 
-    report = with_trace("report", cmd_report)
+    with_remote(with_trace("info", cmd_info))
+
+    report = with_remote(with_trace("report", cmd_report))
     report.add_argument("--start", type=int, default=None)
     report.add_argument("--end", type=int, default=None)
 
-    render = with_trace("render", cmd_render)
+    render = with_remote(with_trace("render", cmd_render))
     render.add_argument("output")
-    render.add_argument("--mode", choices=sorted(MODES), default="state")
+    render.add_argument("--mode", choices=sorted(TIMELINE_MODES),
+                        default="state")
     render.add_argument("--width", type=int, default=1024)
     render.add_argument("--lane", type=int, default=4)
     render.add_argument("--start", type=int, default=None)
@@ -370,13 +465,29 @@ def main(argv=None):
     status.add_argument("directory")
     status.set_defaults(handler=cmd_queue_status)
 
+    serve = commands.add_parser(
+        "serve", help="serve traces over HTTP (the multi-tenant "
+                      "analysis service)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8737)
+    serve.add_argument("--root", default=None,
+                       help="confine served paths to this directory")
+    serve.add_argument("--pool-capacity", type=int, default=8,
+                       help="resident mapped traces before LRU "
+                            "eviction")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every request")
+    serve.set_defaults(handler=cmd_serve)
+
     args = parser.parse_args(argv)
     try:
         args.handler(args)
     except Exception as error:
         from repro.analysis.experiments import ExperimentError
+        from repro.service import ServiceError
         if not isinstance(error, (ExperimentError, FormatError,
-                                  CacheError, FileNotFoundError,
+                                  CacheError, ServiceError,
+                                  ConnectionError, FileNotFoundError,
                                   IsADirectoryError, NotADirectoryError,
                                   PermissionError)):
             raise

@@ -2,7 +2,7 @@
 """Quickstart: simulate a task-parallel run, trace it, analyze it.
 
 This script is the runnable version of the README's quickstart.  It
-walks the full pipeline in ten steps:
+walks the full pipeline in twelve steps:
 
 1. build a NUMA machine and the seidel task graph;
 2. execute it on the simulated work-stealing run-time with tracing;
@@ -32,7 +32,12 @@ walks the full pipeline in ten steps:
     a job in a durable SQLite journal next to the traces, so a sweep
     interrupted partway resumes from the journal alone and never
     re-simulates a completed point (docs/architecture.md, "Failure
-    modes & recovery").
+    modes & recovery");
+12. *serve* the trace over HTTP: the multi-tenant analysis service
+    maps the ``.ostc`` sidecar once and every client session shares
+    that one store — two clients open the same trace, the second open
+    is a pool hit, and both see identical statistics
+    (docs/service-api.md).
 
 Run:  python examples/quickstart.py [output-directory]
 """
@@ -218,6 +223,27 @@ def main(output_dir="."):
           report.resimulated)
     print("sweep complete: {} of {} traces".format(
         report.counts["done"], len(specs)))
+
+    # 12. The serving layer: the same store over HTTP.  Two clients
+    #     open the same trace file; the pool parses it once, the
+    #     second open is a hit on the resident mapping, and both
+    #     sessions answer with identical statistics (the layer behind
+    #     `aftermath_cli serve` and `--remote`).
+    from repro.service import ServiceClient, start_server
+    server = start_server(width=256, height=64)
+    try:
+        viewer = ServiceClient(server.url)
+        analyst = ServiceClient(server.url)
+        first = viewer.open(indexed_path)
+        second = analyst.open(indexed_path)
+        print("\ntrace service at {}".format(server.url))
+        print("shared mapping on second open:", second["shared"])
+        stats_a = viewer.stats(first["session"])
+        stats_b = analyst.stats(second["session"])
+        stats_a.pop("session"), stats_b.pop("session")
+        print("stats identical across clients:", stats_a == stats_b)
+    finally:
+        server.shutdown()
 
 
 if __name__ == "__main__":

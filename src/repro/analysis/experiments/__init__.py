@@ -42,7 +42,8 @@ from .harness import (KMEANS_SIM_CONFIG, PIPELINE_FRAMES, PRESETS,
                       wavefront_trace)
 from .engine import EngineReport, resume_suite_engine, run_suite_engine
 from .queue import (ExperimentError, JobQueue, JobRecord, QueueError,
-                    RetryPolicy, describe_queue, journal_path)
+                    RetryPolicy, describe_queue, journal_path,
+                    queue_status)
 from .render import (render_matrices_side_by_side, render_state_overlay,
                      render_timelines_side_by_side)
 from .store import StoreError, TraceStore, job_key, spec_key
@@ -64,7 +65,7 @@ __all__ = [
     "render_timelines_side_by_side",
     "EngineReport", "resume_suite_engine", "run_suite_engine",
     "ExperimentError", "JobQueue", "JobRecord", "QueueError",
-    "RetryPolicy", "describe_queue", "journal_path",
+    "RetryPolicy", "describe_queue", "journal_path", "queue_status",
     "StoreError", "TraceStore", "job_key", "spec_key",
     "ExperimentSpec", "TraceSummary", "analyze_traces",
     "block_size_sweep", "fault_sweep", "generate_trace",

@@ -528,11 +528,16 @@ class JobRecord:
     store_key: Optional[str] = None
 
 
-def describe_queue(directory):
-    """Human-readable status of a suite directory's journal.
+def queue_status(directory):
+    """Machine-readable status of a suite directory's journal.
 
-    Returns the report string (the ``queue-status`` CLI body).
-    Raises :class:`QueueError` when the directory has no journal.
+    Returns ``{"journal", "counts", "jobs"}``: the journal path,
+    per-state job counts (every state present), and one dict per job
+    (``name``/``state``/``attempts``/``executions`` plus ``error`` —
+    the last line of the failure traceback, or ``None``).  This is the
+    payload behind both the ``queue-status`` CLI report and the
+    service's ``sweep-status`` endpoint.  Raises :class:`QueueError`
+    when the directory has no journal.
     """
     path = journal_path(directory)
     if not os.path.exists(path):
@@ -540,19 +545,38 @@ def describe_queue(directory):
                          "the sweep never started)".format(path))
     queue = JobQueue(path)
     try:
-        counts = queue.counts()
-        lines = ["journal: {}".format(path),
-                 "jobs: " + "  ".join(
-                     "{} {}".format(counts[state], state)
-                     for state in _STATES)]
+        jobs = []
         for entry in queue.snapshot():
-            lines.append(
-                "  {:24s} {:12s} attempts={} executions={}{}".format(
-                    entry.name, entry.state, entry.attempts,
-                    entry.executions,
-                    "  [{}]".format(entry.error.strip().splitlines()[-1])
-                    if entry.state in ("failed", "quarantined")
-                    and entry.error else ""))
-        return "\n".join(lines)
+            error = None
+            if entry.state in ("failed", "quarantined") and entry.error:
+                error = entry.error.strip().splitlines()[-1]
+            jobs.append({"name": entry.name, "state": entry.state,
+                         "attempts": int(entry.attempts),
+                         "executions": int(entry.executions),
+                         "error": error})
+        return {"journal": path, "counts": queue.counts(),
+                "jobs": jobs}
     finally:
         queue.close()
+
+
+def describe_queue(directory):
+    """Human-readable status of a suite directory's journal.
+
+    Returns the report string (the ``queue-status`` CLI body) —
+    :func:`queue_status` formatted for a terminal.  Raises
+    :class:`QueueError` when the directory has no journal.
+    """
+    status = queue_status(directory)
+    counts = status["counts"]
+    lines = ["journal: {}".format(status["journal"]),
+             "jobs: " + "  ".join(
+                 "{} {}".format(counts[state], state)
+                 for state in _STATES)]
+    for job in status["jobs"]:
+        lines.append(
+            "  {:24s} {:12s} attempts={} executions={}{}".format(
+                job["name"], job["state"], job["attempts"],
+                job["executions"],
+                "  [{}]".format(job["error"]) if job["error"] else ""))
+    return "\n".join(lines)

@@ -9,9 +9,9 @@ from .event_overlay import (EVENT_COLORS, render_annotations,
 from .framebuffer import Framebuffer
 from .matrix import (histogram_to_text, matrix_to_text, render_histogram,
                      render_matrix)
-from .timeline import (HeatmapMode, NumaHeatmapMode, NumaMode, StateMode,
-                       TimelineMode, TimelineView, TypeMode,
-                       render_timeline)
+from .timeline import (TIMELINE_MODES, HeatmapMode, NumaHeatmapMode,
+                       NumaMode, StateMode, TimelineMode, TimelineView,
+                       TypeMode, render_timeline, timeline_mode)
 
 __all__ = [
     "heatmap_shades", "numa_heat_color", "numa_palette", "state_color",
@@ -22,5 +22,5 @@ __all__ = [
     "matrix_to_text",
     "render_histogram", "render_matrix", "HeatmapMode", "NumaHeatmapMode",
     "NumaMode", "StateMode", "TimelineMode", "TimelineView", "TypeMode",
-    "render_timeline",
+    "TIMELINE_MODES", "render_timeline", "timeline_mode",
 ]

@@ -10,7 +10,13 @@ rendering functions*, and that is exactly what we measure.
 
 from __future__ import annotations
 
+import struct
+import zlib
+
 import numpy as np
+
+#: Dark-to-bright luminance ramp used by :meth:`Framebuffer.to_ascii`.
+ASCII_RAMP = " .:-=+*#%@"
 
 
 class Framebuffer:
@@ -137,6 +143,45 @@ class Framebuffer:
             header = "P6\n{} {}\n255\n".format(self.width, self.height)
             handle.write(header.encode("ascii"))
             handle.write(self.pixels.tobytes())
+
+    def png_bytes(self, compress_level=6):
+        """The image as a PNG byte string (stdlib zlib, no deps).
+
+        Truecolor 8-bit, filter type 0 on every row — small and
+        universally decodable, which is all the service's ``render``
+        endpoint needs to ship frames over JSON.
+        """
+        raw = b"".join(b"\x00" + row.tobytes() for row in self.pixels)
+
+        def chunk(tag, data):
+            return (struct.pack(">I", len(data)) + tag + data
+                    + struct.pack(">I", zlib.crc32(tag + data)))
+
+        header = struct.pack(">IIBBBBB", self.width, self.height,
+                             8, 2, 0, 0, 0)
+        return (b"\x89PNG\r\n\x1a\n"
+                + chunk(b"IHDR", header)
+                + chunk(b"IDAT", zlib.compress(raw, compress_level))
+                + chunk(b"IEND", b""))
+
+    def save_png(self, path):
+        """Write the image as a PNG file."""
+        with open(path, "wb") as handle:
+            handle.write(self.png_bytes())
+
+    def to_ascii(self, ramp=ASCII_RAMP):
+        """The image as ASCII art: one string per pixel row.
+
+        Each pixel maps to a ramp character by Rec. 709 luminance, so
+        a terminal (or a doctest) can eyeball a rendered timeline
+        without decoding pixels.
+        """
+        weights = np.array([0.2126, 0.7152, 0.0722])
+        luma = self.pixels.astype(np.float64) @ weights
+        index = np.minimum((luma / 256.0 * len(ramp)).astype(np.int64),
+                           len(ramp) - 1)
+        table = np.array(list(ramp))
+        return ["".join(row) for row in table[index]]
 
     def column(self, x):
         """One pixel column (for tests)."""

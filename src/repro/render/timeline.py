@@ -289,6 +289,34 @@ class NumaHeatmapMode(_TaskMode):
         return palettes.numa_heat_color(value)
 
 
+#: Public mode names -> zero-argument factories.  These are the
+#: strings the CLI ``--mode`` flag and the service ``render`` endpoint
+#: accept; :func:`timeline_mode` turns one into a ready mode object.
+TIMELINE_MODES = {
+    "state": StateMode,
+    "heatmap": HeatmapMode,
+    "typemap": TypeMode,
+    "numa-read": lambda: NumaMode("read"),
+    "numa-write": lambda: NumaMode("write"),
+    "numa-heatmap": NumaHeatmapMode,
+}
+
+
+def timeline_mode(name):
+    """Instantiate a timeline mode from its public name.
+
+    Accepts any key of :data:`TIMELINE_MODES`; raises ``ValueError``
+    (listing the valid names) otherwise, so callers that forward
+    user-supplied strings get a clean diagnostic.
+    """
+    try:
+        factory = TIMELINE_MODES[str(name)]
+    except KeyError:
+        raise ValueError("unknown timeline mode {!r}; valid: {}".format(
+            name, ", ".join(sorted(TIMELINE_MODES)))) from None
+    return factory()
+
+
 def _pixel_edges(view):
     """The time stamps t0(x) of every pixel column, plus ``view.end``.
 

@@ -1,0 +1,122 @@
+"""Thin stdlib client for the trace service.
+
+One :class:`ServiceClient` holds a persistent HTTP/1.1 connection
+(``http.client``) to a running service and exposes each endpoint as a
+method returning the reply dict.  Error replies raise the same
+:class:`~repro.service.api.ServiceError` the server-side handlers
+produce, code and all, so remote and in-process callers handle
+failures identically — this is what ``aftermath_cli --remote`` runs
+on, and what the examples in ``docs/service-api.md`` drive.
+
+The client is deliberately free of analysis imports: it speaks JSON
+over a socket and nothing else, so a viewer machine needs no trace on
+disk and no numpy arrays in memory.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from http.client import HTTPConnection, HTTPException
+from urllib.parse import urlparse
+
+from .api import ServiceError
+
+
+class ServiceClient:
+    """A persistent-connection JSON client for one service URL."""
+
+    def __init__(self, base_url, timeout=60.0):
+        parsed = urlparse(str(base_url))
+        if parsed.scheme not in ("", "http"):
+            raise ValueError("service URLs are plain http, got "
+                             + str(base_url))
+        netloc = parsed.netloc or parsed.path
+        self.host = netloc.rsplit(":", 1)[0]
+        self.port = (int(netloc.rsplit(":", 1)[1])
+                     if ":" in netloc else 80)
+        self.timeout = timeout
+        self._connection = None
+
+    def _connect(self):
+        if self._connection is None:
+            self._connection = HTTPConnection(self.host, self.port,
+                                              timeout=self.timeout)
+        return self._connection
+
+    def _roundtrip(self, method, path, body):
+        connection = self._connect()
+        connection.request(method, path, body=body,
+                           headers={"Content-Type":
+                                    "application/json"})
+        response = connection.getresponse()
+        payload = json.loads(response.read().decode("utf-8"))
+        if isinstance(payload, dict) and "error" in payload:
+            error = payload["error"]
+            raise ServiceError(error.get("code", "internal"),
+                               error.get("message", "request failed"),
+                               status=response.status)
+        return payload
+
+    def call(self, endpoint, **params):
+        """POST one endpoint; returns the reply dict or raises
+        :class:`ServiceError` (reconnecting once on a dropped
+        keep-alive connection)."""
+        body = json.dumps(params).encode("utf-8")
+        try:
+            return self._roundtrip("POST", "/api/" + endpoint, body)
+        except (HTTPException, ConnectionError, BrokenPipeError):
+            self.close_connection()
+            return self._roundtrip("POST", "/api/" + endpoint, body)
+
+    # -- endpoint conveniences ----------------------------------------
+
+    def open(self, path, **params):
+        """Open a trace; returns the ``open`` reply (``session`` id,
+        ``shared`` flag, ``view``)."""
+        return self.call("open", path=str(path), **params)
+
+    def navigate(self, session, action, **params):
+        """Apply one navigation verb to a session."""
+        return self.call("navigate", session=session, action=action,
+                         **params)
+
+    def render(self, session, **params):
+        """Render the session's current view (``format``: ``ascii``
+        or ``png``)."""
+        return self.call("render", session=session, **params)
+
+    def render_png(self, session, **params):
+        """Render to PNG and return the decoded image bytes."""
+        params["format"] = "png"
+        return base64.b64decode(self.render(session,
+                                            **params)["png_base64"])
+
+    def stats(self, session, **params):
+        """The interval-statistics panel of a session."""
+        return self.call("stats", session=session, **params)
+
+    def diff(self, baseline, candidate, **params):
+        """Diff two trace files through the experiment engine."""
+        return self.call("diff", baseline=str(baseline),
+                         candidate=str(candidate), **params)
+
+    def sweep_status(self, directory):
+        """Poll a suite directory's durable job journal."""
+        return self.call("sweep-status", directory=str(directory))
+
+    def close(self, session):
+        """Close one session on the server."""
+        return self.call("close", session=session)
+
+    def health(self):
+        """``GET /health``: liveness + pool/session counters."""
+        return self._roundtrip("GET", "/health", None)
+
+    def close_connection(self):
+        """Drop the persistent connection (reopened on next call)."""
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            finally:
+                self._connection = None

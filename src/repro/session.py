@@ -15,6 +15,16 @@ once: every navigation step is broadcast to all member sessions (so
 the views stay in lockstep on one shared time axis), and the
 comparison verbs of the experiment engine — side-by-side rendering
 and baseline/candidate diff reports — operate on the members.
+
+The session object is also the service boundary: the multi-tenant
+server (:mod:`repro.service`) and ``aftermath_cli`` are two clients of
+the same API.  The uniform verbs — :meth:`AnalysisSession.navigate`
+(one dispatch point over zoom/scroll/goto/back/forward/reset),
+:meth:`AnalysisSession.view_state`,
+:meth:`AnalysisSession.statistics` and
+:meth:`AnalysisSession.render_frame` — take and return
+JSON-serializable values, so a request handler is a thin shell around
+them.
 """
 
 from __future__ import annotations
@@ -71,6 +81,7 @@ class AnalysisSession:
         return self._move(self.view.zoom(factor, center))
 
     def scroll(self, fraction):
+        """Scroll by a fraction of the window (negative = left)."""
         return self._move(self.view.scroll(fraction))
 
     def goto(self, start, end):
@@ -88,6 +99,7 @@ class AnalysisSession:
         return self.view
 
     def forward(self):
+        """Redo the navigation step :meth:`back` undid."""
         if not self._future:
             return self.view
         self._history.append(self.view)
@@ -95,8 +107,87 @@ class AnalysisSession:
         return self.view
 
     def reset_view(self):
+        """Return to the whole-trace fit view (a history step)."""
         return self._move(TimelineView.fit(self.trace, self.view.width,
                                            self.view.height))
+
+    # -- the uniform session API (CLI + service) ----------------------
+    #: Navigation verbs :meth:`navigate` dispatches, with the
+    #: parameter names each one accepts.
+    NAVIGATION_ACTIONS = {
+        "zoom": ("factor", "center"), "scroll": ("fraction",),
+        "goto": ("start", "end"), "back": (), "forward": (),
+        "reset": (),
+    }
+
+    def navigate(self, action, **params):
+        """One dispatch point over the navigation verbs.
+
+        ``action`` is a key of :data:`NAVIGATION_ACTIONS`;  ``params``
+        are that verb's arguments (e.g. ``factor``/``center`` for
+        ``zoom``).  Remote clients and the CLI funnel through here so
+        both speak exactly the same vocabulary.  Returns the new view;
+        raises ``ValueError`` on an unknown action and ``KeyError`` on
+        a missing required parameter.
+        """
+        if action == "zoom":
+            return self.zoom(params["factor"], params.get("center"))
+        if action == "scroll":
+            return self.scroll(params["fraction"])
+        if action == "goto":
+            return self.goto(params["start"], params["end"])
+        if action == "back":
+            return self.back()
+        if action == "forward":
+            return self.forward()
+        if action == "reset":
+            return self.reset_view()
+        raise ValueError("unknown navigation action {!r}; valid: {}"
+                         .format(action,
+                                 ", ".join(self.NAVIGATION_ACTIONS)))
+
+    def view_state(self):
+        """The current view as a JSON-serializable dict."""
+        return {"start": int(self.view.start),
+                "end": int(self.view.end),
+                "width": int(self.view.width),
+                "height": int(self.view.height)}
+
+    def statistics(self, start=None, end=None):
+        """The interval-statistics panel as a JSON-serializable dict.
+
+        Defaults to the session's current view window (pass
+        ``start``/``end`` for an explicit interval).  State ids are
+        spelled out as :class:`~repro.core.WorkerState` names, so the
+        payload is self-describing across the wire.
+        """
+        from .core import WorkerState, interval_report
+        start = self.view.start if start is None else int(start)
+        end = self.view.end if end is None else int(end)
+        report = interval_report(self.trace, start, end)
+        return {"start": int(report.start), "end": int(report.end),
+                "tasks": int(report.tasks),
+                "average_parallelism":
+                    round(float(report.average_parallelism), 6),
+                "locality": round(float(report.locality), 6),
+                "state_cycles": {
+                    WorkerState(state).name.lower(): int(cycles)
+                    for state, cycles
+                    in sorted(report.state_cycles.items())}}
+
+    def render_frame(self, mode="state"):
+        """Rasterize the current view into a fresh framebuffer.
+
+        ``mode`` is a timeline-mode name from
+        :func:`repro.render.timeline_mode` (``state``, ``heatmap``,
+        ``typemap``, ``numa-read``, ``numa-write``, ``numa-heatmap``)
+        or an already-built mode object.  Returns the
+        :class:`~repro.render.Framebuffer`.
+        """
+        from .render import render_timeline, timeline_mode
+        if isinstance(mode, str):
+            mode = timeline_mode(mode)
+        return render_timeline(self.trace, mode, self.view)
 
     # -- overview -------------------------------------------------------
     def overview(self, width=256):
@@ -154,6 +245,7 @@ class AnalysisSession:
         return note
 
     def visible_annotations(self):
+        """The annotations inside the current view window."""
         return self.annotations.in_interval(self.view.start,
                                             self.view.end)
 

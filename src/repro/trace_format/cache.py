@@ -100,9 +100,20 @@ _DTYPE_TABLE = {name: _dtype_descr(dtype)
                                                COUNTER_DTYPE),)}
 
 
-def _source_stamp(source_path):
+def source_stamp(source_path):
+    """The identity stamp of a trace file: size + ``mtime_ns``.
+
+    This is what the sidecar header embeds to detect staleness, and
+    what the service's :class:`~repro.service.pool.MappedCachePool`
+    re-checks on every acquisition to invalidate traces that changed
+    on disk.
+    """
     info = os.stat(source_path)
     return {"size": int(info.st_size), "mtime_ns": int(info.st_mtime_ns)}
+
+
+#: Backwards-compatible private alias (pre-service callers).
+_source_stamp = source_stamp
 
 
 def write_cache(trace, cache_path, source_path=None, source_stamp=None):
@@ -241,6 +252,7 @@ def write_cache(trace, cache_path, source_path=None, source_stamp=None):
     if source_stamp is not None:
         header["source"] = dict(source_stamp)
     elif source_path is not None:
+        # The parameter shadows the module-level function here.
         header["source"] = _source_stamp(source_path)
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
     # Write to a temp file in the same directory and atomically rename
@@ -435,7 +447,7 @@ def load_cache(cache_path, source_path=None):
     """
     header, data_start = _read_header(cache_path)
     if source_path is not None and "source" in header:
-        if header["source"] != _source_stamp(source_path):
+        if header["source"] != source_stamp(source_path):
             raise StaleCacheError(
                 "cache {} is stale for {}".format(cache_path, source_path))
     if header.get("dtypes") != _DTYPE_TABLE:

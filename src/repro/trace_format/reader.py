@@ -155,8 +155,8 @@ def read_trace(path, columnar=False, cache=None):
     store.
     """
     if cache:
-        from .cache import (CacheError, _source_stamp,
-                            default_cache_path, load_cache, write_cache)
+        from .cache import (CacheError, default_cache_path,
+                            load_cache, source_stamp, write_cache)
         cache_path = (default_cache_path(path) if cache is True
                       else str(cache))
         try:
@@ -166,7 +166,7 @@ def read_trace(path, columnar=False, cache=None):
         # Stamp the source *before* the (slow) parse: if the trace file
         # changes while parsing, the sidecar must come out stale, not
         # freshly stamped over wrong data.
-        stamp = _source_stamp(path)
+        stamp = source_stamp(path)
         trace = read_trace(path, columnar=True)
         try:
             write_cache(trace, cache_path, source_stamp=stamp)

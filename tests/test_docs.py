@@ -12,7 +12,8 @@ import sys
 import pytest
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
-DOC_FILES = ["docs/trace-format.md", "docs/architecture.md"]
+DOC_FILES = ["docs/trace-format.md", "docs/architecture.md",
+             "docs/service-api.md"]
 
 
 @pytest.mark.parametrize("relpath", DOC_FILES)
@@ -26,9 +27,21 @@ def test_doc_examples_execute(relpath):
 def test_docs_exist_and_cross_link():
     readme = (ROOT / "README.md").read_text()
     for relpath in ("docs/architecture.md", "docs/trace-format.md",
-                    "docs/paper-mapping.md"):
+                    "docs/service-api.md", "docs/paper-mapping.md"):
         assert (ROOT / relpath).is_file(), relpath
         assert relpath in readme, "README does not link " + relpath
+
+
+def test_no_dangling_doc_references():
+    """Every markdown link and repo path named in README/docs
+    resolves to a real file (tools/check_docs_links.py, CI-wired)."""
+    sys.path.insert(0, str(ROOT / "tools"))
+    try:
+        from check_docs_links import check
+        paths = [ROOT / "README.md"] + sorted(ROOT.glob("docs/*.md"))
+        assert check(paths) == []
+    finally:
+        sys.path.pop(0)
 
 
 def test_paper_mapping_covers_every_benchmark():
@@ -65,6 +78,8 @@ def test_quickstart_example_runs_and_covers_both_stores(tmp_path,
         "interruption" in out
     assert "resumed sweep re-simulated completed points: 0" in out
     assert "sweep complete: 4 of 4 traces" in out
+    assert "shared mapping on second open: True" in out
+    assert "stats identical across clients: True" in out
     assert (tmp_path / "quickstart_suite" / "journal.sqlite").exists()
     assert (tmp_path / "quickstart.ostc").exists()
     assert (tmp_path / "quickstart_states.ppm").exists()

@@ -54,6 +54,66 @@ class TestNavigation:
         assert session.view.end == 2500
 
 
+class TestUniformSessionApi:
+    """The navigation/statistics/render vocabulary the CLI and the
+    trace service both speak (see `repro.service.api`)."""
+
+    def test_navigate_dispatches_every_action(self, session):
+        original = session.view
+        assert session.navigate("zoom", factor=2.0) \
+            == session.view
+        assert session.view.duration < original.duration
+        session.navigate("scroll", fraction=0.25)
+        session.navigate("goto", start=100, end=900)
+        assert (session.view.start, session.view.end) == (100, 900)
+        session.navigate("back")
+        session.navigate("forward")
+        assert (session.view.start, session.view.end) == (100, 900)
+        assert session.navigate("reset") == original
+
+    def test_navigate_covers_the_declared_vocabulary(self, session):
+        assert set(session.NAVIGATION_ACTIONS) \
+            == {"zoom", "scroll", "goto", "back", "forward", "reset"}
+
+    def test_navigate_rejects_unknown_action(self, session):
+        with pytest.raises(ValueError, match="zoom"):
+            session.navigate("teleport")
+
+    def test_navigate_missing_parameter_is_key_error(self, session):
+        with pytest.raises(KeyError):
+            session.navigate("goto", start=100)
+
+    def test_view_state_is_json_shaped(self, session):
+        state = session.view_state()
+        assert sorted(state) == ["end", "height", "start", "width"]
+        assert all(type(value) is int for value in state.values())
+        assert (state["width"], state["height"]) == (400, 128)
+
+    def test_statistics_default_to_view_window(self, session):
+        session.goto(1_000, 5_000)
+        stats = session.statistics()
+        assert (stats["start"], stats["end"]) == (1_000, 5_000)
+
+    def test_statistics_explicit_window_and_state_names(self, session):
+        stats = session.statistics(start=0, end=10_000)
+        assert (stats["start"], stats["end"]) == (0, 10_000)
+        assert stats["tasks"] >= 0
+        names = {state.name.lower() for state in WorkerState}
+        assert set(stats["state_cycles"]) <= names
+        assert "running" in stats["state_cycles"]
+
+    def test_render_frame_accepts_name_and_object(self, session):
+        from repro.render import StateMode
+        by_name = session.render_frame("state")
+        by_object = session.render_frame(StateMode())
+        assert (by_name.width, by_name.height) == (400, 128)
+        assert (by_name.pixels == by_object.pixels).all()
+
+    def test_render_frame_rejects_unknown_mode(self, session):
+        with pytest.raises(ValueError, match="unknown timeline mode"):
+            session.render_frame("sideways")
+
+
 class TestAnnotations:
     def test_annotate_at_view_center(self, session):
         session.goto(1000, 2000)

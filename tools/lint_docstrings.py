@@ -2,15 +2,17 @@
 """Docstring-presence lint for the public analysis-stack API.
 
 Every public module, class, function and method in
-``src/repro/trace_format/``, ``src/repro/analysis/``,
-``src/repro/core/`` and ``src/repro/render/`` must carry a docstring:
-these are the layers external tools integrate against, so the
-documentation contract is enforced in CI.  "Public" means the name
-does not start with an underscore and the module is not private.
+``src/repro/trace_format/`` (including ``ingest/``),
+``src/repro/analysis/`` (including ``experiments/``),
+``src/repro/core/``, ``src/repro/render/``, ``src/repro/service/``
+and ``src/repro/session.py`` must carry a docstring: these are the
+layers external tools integrate against, so the documentation
+contract is enforced in CI.  "Public" means the name does not start
+with an underscore and the module is not private.
 
 Exit status 0 when clean, 1 with one line per offender otherwise.
 
-Usage: python tools/lint_docstrings.py [package-dir ...]
+Usage: python tools/lint_docstrings.py [package-dir-or-file ...]
 """
 
 from __future__ import annotations
@@ -20,7 +22,8 @@ import pathlib
 import sys
 
 DEFAULT_TARGETS = ("src/repro/trace_format", "src/repro/analysis",
-                   "src/repro/core", "src/repro/render")
+                   "src/repro/core", "src/repro/render",
+                   "src/repro/service", "src/repro/session.py")
 
 
 def _is_public(name):
@@ -66,7 +69,8 @@ def lint(targets=DEFAULT_TARGETS, root="."):
     problems = []
     for target in targets:
         base = pathlib.Path(root) / target
-        for path in sorted(base.rglob("*.py")):
+        paths = [base] if base.is_file() else sorted(base.rglob("*.py"))
+        for path in paths:
             if path.name.startswith("_") and path.name != "__init__.py":
                 continue
             for lineno, what in _missing_docstrings(path):
